@@ -1,0 +1,241 @@
+// Command disthd trains, evaluates and deploys DistHD classifiers from the
+// command line.
+//
+// Train on a CSV file (label in the last column) and save the model:
+//
+//	disthd train -data samples.csv -out model.dhd -dim 512 -iters 20
+//
+// Train on a synthetic benchmark instead of a file:
+//
+//	disthd train -bench UCIHAR -scale 0.35 -out model.dhd
+//
+// Evaluate a saved model:
+//
+//	disthd eval -model model.dhd -data test.csv
+//
+// Measure robustness of a deployment:
+//
+//	disthd inject -model model.dhd -bench UCIHAR -bits 1 -rate 0.10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	disthd "repro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "eval":
+		err = cmdEval(os.Args[2:])
+	case "inject":
+		err = cmdInject(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "disthd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  disthd train  -data FILE.csv | -bench NAME   [-out model.dhd] [-dim D] [-iters N] [-rate R] [-seed S] [-scale F]
+  disthd eval   -model model.dhd  -data FILE.csv | -bench NAME [-scale F] [-seed S]
+  disthd inject -model model.dhd  -data FILE.csv | -bench NAME -bits B -rate R [-trials T] [-scale F] [-seed S]`)
+}
+
+// loadData resolves the -data / -bench flags into train and test splits.
+func loadData(dataPath, bench string, scale float64, seed uint64) (train, test disthd.DataSplit, err error) {
+	switch {
+	case dataPath != "" && bench != "":
+		return train, test, fmt.Errorf("use either -data or -bench, not both")
+	case dataPath != "":
+		d, err := disthd.LoadCSVFile(dataPath, -1)
+		if err != nil {
+			return train, test, err
+		}
+		train, test, err = disthd.Split(d, 0.8, seed)
+		if err != nil {
+			return train, test, err
+		}
+		if err := disthd.ZScore(train, test); err != nil {
+			return train, test, err
+		}
+		return train, test, nil
+	case bench != "":
+		return disthd.SyntheticBenchmark(bench, scale, seed)
+	default:
+		return train, test, fmt.Errorf("one of -data or -bench is required")
+	}
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	data := fs.String("data", "", "CSV training data (label last)")
+	bench := fs.String("bench", "", "synthetic benchmark name (MNIST, UCIHAR, ISOLET, PAMAP2, DIABETES)")
+	out := fs.String("out", "", "path to save the trained model")
+	dim := fs.Int("dim", 512, "hypervector dimensionality D")
+	iters := fs.Int("iters", 20, "training iterations")
+	rate := fs.Float64("rate", 0.10, "regeneration rate R")
+	lr := fs.Float64("lr", 0.05, "learning rate η")
+	seed := fs.Uint64("seed", 1, "random seed")
+	scale := fs.Float64("scale", 0.35, "synthetic benchmark scale")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	train, test, err := loadData(*data, *bench, *scale, *seed)
+	if err != nil {
+		return err
+	}
+	cfg := disthd.DefaultConfig()
+	cfg.Dim = *dim
+	cfg.Iterations = *iters
+	cfg.RegenRate = *rate
+	cfg.LearningRate = *lr
+	cfg.Seed = *seed
+
+	fmt.Printf("training DistHD: %d samples, %d features, %d classes, D=%d\n",
+		train.Len(), len(train.X[0]), train.Classes, *dim)
+	start := time.Now()
+	m, err := disthd.TrainWithConfig(train.X, train.Y, train.Classes, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trained in %.2fs: %d iterations, %d dims regenerated, effective D* = %d\n",
+		time.Since(start).Seconds(), m.Info.Iterations, m.Info.RegeneratedDims, m.Info.EffectiveDim)
+
+	acc, err := m.Evaluate(test.X, test.Y)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("test accuracy: %.2f%% (%d samples)\n", 100*acc, test.Len())
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := m.Save(f); err != nil {
+			return err
+		}
+		fmt.Printf("model saved to %s\n", *out)
+	}
+	return nil
+}
+
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	modelPath := fs.String("model", "", "saved model path")
+	data := fs.String("data", "", "CSV evaluation data (label last)")
+	bench := fs.String("bench", "", "synthetic benchmark name")
+	seed := fs.Uint64("seed", 1, "random seed (benchmark generation)")
+	scale := fs.Float64("scale", 0.35, "synthetic benchmark scale")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" {
+		return fmt.Errorf("-model is required")
+	}
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	m, err := disthd.Load(f)
+	if err != nil {
+		return err
+	}
+	_, test, err := loadData(*data, *bench, *scale, *seed)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	acc, err := m.Evaluate(test.X, test.Y)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start).Seconds()
+	fmt.Printf("accuracy: %.2f%% on %d samples (%.4fs, %.1f samples/s)\n",
+		100*acc, test.Len(), elapsed, float64(test.Len())/elapsed)
+	return nil
+}
+
+func cmdInject(args []string) error {
+	fs := flag.NewFlagSet("inject", flag.ExitOnError)
+	modelPath := fs.String("model", "", "saved model path")
+	data := fs.String("data", "", "CSV evaluation data (label last)")
+	bench := fs.String("bench", "", "synthetic benchmark name")
+	bits := fs.Int("bits", 8, "deployment precision (1, 2, 4 or 8)")
+	rate := fs.Float64("rate", 0.10, "bit-flip rate")
+	trials := fs.Int("trials", 5, "injection trials to average")
+	seed := fs.Uint64("seed", 1, "random seed")
+	scale := fs.Float64("scale", 0.35, "synthetic benchmark scale")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" {
+		return fmt.Errorf("-model is required")
+	}
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	m, err := disthd.Load(f)
+	if err != nil {
+		return err
+	}
+	_, test, err := loadData(*data, *bench, *scale, *seed)
+	if err != nil {
+		return err
+	}
+
+	dep, err := m.Deploy(*bits)
+	if err != nil {
+		return err
+	}
+	clean, err := dep.Evaluate(test.X, test.Y)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("deployed at %d bits (%d KiB): clean accuracy %.2f%%\n",
+		*bits, dep.MemoryBits()/8/1024, 100*clean)
+
+	var lossSum float64
+	for trial := 0; trial < *trials; trial++ {
+		if err := dep.Restore(); err != nil {
+			return err
+		}
+		if err := dep.Inject(*rate, *seed+uint64(trial)*31); err != nil {
+			return err
+		}
+		acc, err := dep.Evaluate(test.X, test.Y)
+		if err != nil {
+			return err
+		}
+		loss := clean - acc
+		if loss < 0 {
+			loss = 0
+		}
+		lossSum += loss
+		fmt.Printf("  trial %d: accuracy %.2f%% (loss %.2f%%)\n", trial+1, 100*acc, 100*loss)
+	}
+	fmt.Printf("average quality loss at %.1f%% flips: %.2f%%\n",
+		100**rate, 100*lossSum/float64(*trials))
+	return nil
+}

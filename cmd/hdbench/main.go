@@ -1,0 +1,65 @@
+// Command hdbench regenerates the tables and figures of the DistHD paper's
+// evaluation on the synthetic benchmark suite.
+//
+// Usage:
+//
+//	hdbench -list
+//	hdbench -exp fig4                 # one experiment at the default scale
+//	hdbench -exp all -scale 0.35      # everything, EXPERIMENTS.md scale
+//	hdbench -exp fig8 -quick          # CI-sized smoke run
+//
+// Output is plain text, one table per experiment, in the same layout the
+// paper reports. See EXPERIMENTS.md for the recorded paper-vs-measured
+// comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id to run, or 'all'")
+		scale = flag.Float64("scale", 0.35, "dataset scale (1.0 ≈ a few thousand samples per dataset)")
+		seed  = flag.Uint64("seed", 42, "master random seed")
+		quick = flag.Bool("quick", false, "shrink sweeps to CI size")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available experiments:")
+		for _, id := range experiments.ExperimentIDs() {
+			fmt.Printf("  %s\n", id)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "hdbench: -exp is required (or -list); e.g. hdbench -exp fig4")
+		os.Exit(2)
+	}
+
+	o := experiments.Options{Scale: *scale, Seed: *seed, Quick: *quick}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.ExperimentIDs()
+	}
+	for i, id := range ids {
+		if i > 0 {
+			fmt.Println()
+			fmt.Println("========================================")
+			fmt.Println()
+		}
+		start := time.Now()
+		if err := experiments.Run(id, o, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "hdbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n[%s completed in %.1fs]\n", id, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,118 @@
+// Command hdinspect examines a saved DistHD model: shape, per-class
+// hypervector statistics, inter-class similarity structure, and the
+// dimension-saliency distribution that drives regeneration — the
+// debugging view an engineer wants before committing a model to a device.
+//
+//	hdinspect -model model.dhd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	disthd "repro"
+)
+
+func main() {
+	modelPath := flag.String("model", "", "saved model path (.dhd)")
+	flag.Parse()
+	if *modelPath == "" {
+		fmt.Fprintln(os.Stderr, "hdinspect: -model is required")
+		os.Exit(2)
+	}
+	if err := inspect(*modelPath); err != nil {
+		fmt.Fprintf(os.Stderr, "hdinspect: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func inspect(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	m, err := disthd.Load(f)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("model: %s\n", path)
+	fmt.Printf("  features: %d   dimensions: %d   classes: %d\n",
+		m.Features(), m.Dim(), m.Classes())
+	for _, bits := range []int{1, 8} {
+		dep, err := m.Deploy(bits)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  deployed size at %d bit(s): %.1f KiB\n", bits, float64(dep.MemoryBits())/8/1024)
+	}
+
+	// Per-class hypervector norms (uneven norms indicate class imbalance
+	// or saturation during training).
+	fmt.Println("\nclass hypervector norms:")
+	norms := make([]float64, m.Classes())
+	vecs := make([][]float64, m.Classes())
+	for c := 0; c < m.Classes(); c++ {
+		hv, err := m.ClassHypervector(c)
+		if err != nil {
+			return err
+		}
+		vecs[c] = hv
+		var s float64
+		for _, v := range hv {
+			s += v * v
+		}
+		norms[c] = math.Sqrt(s)
+		fmt.Printf("  class %2d: %.3f\n", c, norms[c])
+	}
+
+	// Inter-class cosine similarity: high off-diagonal values flag
+	// confusable class pairs.
+	fmt.Println("\ninter-class cosine similarity (upper triangle, worst pairs first):")
+	type pair struct {
+		a, b int
+		sim  float64
+	}
+	var pairs []pair
+	for a := 0; a < m.Classes(); a++ {
+		for b := a + 1; b < m.Classes(); b++ {
+			var dot float64
+			for j := range vecs[a] {
+				dot += vecs[a][j] * vecs[b][j]
+			}
+			sim := 0.0
+			if norms[a] > 0 && norms[b] > 0 {
+				sim = dot / (norms[a] * norms[b])
+			}
+			pairs = append(pairs, pair{a, b, sim})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].sim > pairs[j].sim })
+	show := len(pairs)
+	if show > 8 {
+		show = 8
+	}
+	for _, p := range pairs[:show] {
+		fmt.Printf("  classes %2d-%2d: %.3f\n", p.a, p.b, p.sim)
+	}
+
+	// Saliency distribution: how much of the model's capacity is live.
+	sal := m.DimensionSaliency()
+	sort.Float64s(sal)
+	quantile := func(q float64) float64 { return sal[int(q*float64(len(sal)-1))] }
+	fmt.Println("\ndimension saliency (variance of normalized class weights):")
+	fmt.Printf("  min %.2e   p25 %.2e   median %.2e   p75 %.2e   max %.2e\n",
+		sal[0], quantile(0.25), quantile(0.5), quantile(0.75), sal[len(sal)-1])
+	dead := 0
+	for _, v := range sal {
+		if v < quantile(0.5)/10 {
+			dead++
+		}
+	}
+	fmt.Printf("  ~%d of %d dimensions carry <10%% of median information\n", dead, len(sal))
+	return nil
+}

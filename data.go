@@ -1,0 +1,139 @@
+package disthd
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/mat"
+)
+
+// DataSplit is a labeled set of samples in plain Go slices.
+type DataSplit struct {
+	// X holds one sample per row.
+	X [][]float64
+	// Y holds the integer label of each row, in [0, Classes).
+	Y []int
+	// Classes is the number of distinct labels.
+	Classes int
+}
+
+// Len returns the number of samples.
+func (d DataSplit) Len() int { return len(d.X) }
+
+// BenchmarkNames lists the five evaluation datasets of the paper's
+// Table I, available as synthetic stand-ins through SyntheticBenchmark.
+func BenchmarkNames() []string {
+	return []string{"MNIST", "UCIHAR", "ISOLET", "PAMAP2", "DIABETES"}
+}
+
+// SyntheticBenchmark generates the named benchmark dataset (z-score
+// normalized train/test splits) at the given scale. Scale 1.0 yields a few
+// thousand samples; smaller values shrink proportionally (minimum 60
+// samples per split). Generation is deterministic in (name, scale, seed).
+func SyntheticBenchmark(name string, scale float64, seed uint64) (train, test DataSplit, err error) {
+	tr, te, err := dataset.Load(name, scale, seed)
+	if err != nil {
+		return DataSplit{}, DataSplit{}, err
+	}
+	return fromDataset(tr), fromDataset(te), nil
+}
+
+// fromDataset converts the internal dataset container to the public one.
+func fromDataset(d *dataset.Dataset) DataSplit {
+	out := DataSplit{
+		X:       make([][]float64, d.N()),
+		Y:       make([]int, d.N()),
+		Classes: d.Classes,
+	}
+	for i := 0; i < d.N(); i++ {
+		row := make([]float64, d.Features())
+		copy(row, d.X.Row(i))
+		out.X[i] = row
+		out.Y[i] = d.Y[i]
+	}
+	return out
+}
+
+// toDataset converts the public container to the internal one.
+func toDataset(d DataSplit, name string) (*dataset.Dataset, error) {
+	if len(d.X) != len(d.Y) {
+		return nil, fmt.Errorf("disthd: %d samples but %d labels", len(d.X), len(d.Y))
+	}
+	out := &dataset.Dataset{Name: name, Classes: d.Classes}
+	out.Y = make([]int, len(d.Y))
+	copy(out.Y, d.Y)
+	out.X = mat.FromRows(d.X)
+	return out, out.Validate()
+}
+
+// ReadCSV parses a numeric CSV stream into a DataSplit: labelCol holds the
+// integer class label (-1 selects the last column), every other column a
+// float feature. Labels are re-indexed densely by ascending value.
+func ReadCSV(r io.Reader, labelCol int) (DataSplit, error) {
+	d, err := dataset.ReadCSV(r, labelCol)
+	if err != nil {
+		return DataSplit{}, err
+	}
+	return fromDataset(d), nil
+}
+
+// LoadCSVFile reads a CSV dataset from disk. See ReadCSV for the format.
+func LoadCSVFile(path string, labelCol int) (DataSplit, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return DataSplit{}, fmt.Errorf("disthd: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return ReadCSV(f, labelCol)
+}
+
+// ZScore fits per-feature standardization on train and applies it to both
+// splits in place — the leakage-free protocol every experiment in this
+// repository uses. Call it before Train when features are on raw scales.
+func ZScore(train, test DataSplit) error {
+	tr, err := toDataset(train, "train")
+	if err != nil {
+		return err
+	}
+	te, err := toDataset(test, "test")
+	if err != nil {
+		return err
+	}
+	if tr.Features() != te.Features() {
+		return fmt.Errorf("disthd: train has %d features, test has %d", tr.Features(), te.Features())
+	}
+	n := dataset.FitNormalizer(tr)
+	n.Apply(tr)
+	n.Apply(te)
+	for i := range train.X {
+		copy(train.X[i], tr.X.Row(i))
+	}
+	for i := range test.X {
+		copy(test.X[i], te.X.Row(i))
+	}
+	return nil
+}
+
+// Split shuffles d deterministically and partitions it into train/test
+// with the given train fraction.
+func Split(d DataSplit, trainFrac float64, seed uint64) (train, test DataSplit, err error) {
+	ds, err := toDataset(d, "split")
+	if err != nil {
+		return DataSplit{}, DataSplit{}, err
+	}
+	tr, te := ds.Split(trainFrac, seed)
+	return fromDataset(tr), fromDataset(te), nil
+}
+
+// ReadIDX parses the MNIST IDX binary pair (images + labels) into a
+// DataSplit with pixels scaled to [0, 1], so the real MNIST files drop
+// into the pipeline in place of the synthetic stand-in.
+func ReadIDX(images, labels io.Reader, classes int) (DataSplit, error) {
+	d, err := dataset.ReadIDX(images, labels, classes)
+	if err != nil {
+		return DataSplit{}, err
+	}
+	return fromDataset(d), nil
+}

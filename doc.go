@@ -1,0 +1,26 @@
+// Package disthd is a from-scratch Go implementation of DistHD (Wang,
+// Huang, Imani — DAC 2023): a hyperdimensional-computing classifier with a
+// learner-aware dynamic encoder that identifies and regenerates the
+// hypervector dimensions misleading classification, reaching static-encoder
+// accuracy at a fraction of the dimensionality.
+//
+// The public API covers the full lifecycle a downstream user needs:
+//
+//   - Train / TrainWithConfig fit a DistHD classifier on float feature
+//     vectors with integer labels.
+//   - Model.Predict / PredictTop2 / Scores / Evaluate run inference.
+//   - Model.Save / Load round-trip a trained model through any io.Writer /
+//     io.Reader.
+//   - Model.Deploy packs the class hypervectors into a b-bit memory image
+//     for edge deployment; Deployed.Inject simulates hardware bit flips so
+//     the robustness of a configuration can be measured before committing
+//     to silicon.
+//   - SyntheticBenchmark regenerates the paper's five evaluation datasets
+//     (as synthetic stand-ins with matching shape) at any scale, and
+//     ReadCSV/LoadCSVFile bring in real data.
+//
+// The research internals — the baselines (NeuralHD, baselineHD, MLP, SVM),
+// the experiment harness that regenerates every table and figure of the
+// paper, and the substrates they share — live under internal/ and are
+// exercised by cmd/hdbench and the benchmarks in bench_test.go.
+package disthd

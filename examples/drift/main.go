@@ -1,0 +1,93 @@
+// Concept drift on an IoT sensor stream: a deployed model faces a slowly
+// shifting input distribution (sensor aging, re-mounting, seasonality),
+// modeled by the dataset package's DriftStream. A frozen model decays; the
+// same model kept alive with DistHD's online Update rule (Algorithm 1, one
+// step per labeled window) tracks the drift. This showcases the
+// continual-learning side of the paper's edge story.
+//
+// Note: the drift generator lives in an internal package (this example is
+// inside the module); external applications corrupt their own streams or
+// replicate the ~30-line generator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	disthd "repro"
+	"repro/internal/dataset"
+	"repro/internal/mat"
+)
+
+func main() {
+	// Base task: PAMAP2-like activity windows.
+	trainSplit, streamSplit, err := disthd.SyntheticBenchmark("PAMAP2", 0.25, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := disthd.DefaultConfig()
+	cfg.Dim = 512
+	cfg.Iterations = 15
+	cfg.Seed = 21
+	frozen, err := disthd.TrainWithConfig(trainSplit.X, trainSplit.Y, trainSplit.Classes, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	adaptive, err := disthd.TrainWithConfig(trainSplit.X, trainSplit.Y, trainSplit.Classes, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Wrap the test split as a drifting stream: a third of the sensors
+	// decalibrate, drifting up to +1.8 (features are z-scored) by the end.
+	src := &dataset.Dataset{Name: "stream", X: mat.FromRows(streamSplit.X), Y: streamSplit.Y, Classes: streamSplit.Classes}
+	stream, err := dataset.NewDriftStream(src, dataset.DriftShift, 0.33, 1.8, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const phases = 6
+	phaseLen := stream.Len() / phases
+	fmt.Printf("%-8s %-10s %-18s %-18s\n", "phase", "severity", "frozen accuracy", "online accuracy")
+	pos := 0
+	for p := 0; p < phases; p++ {
+		var frozenOK, onlineOK, n int
+		var sev float64
+		for i := 0; i < phaseLen || (p == phases-1 && stream.Remaining() > 0); i++ {
+			x, label, ok := stream.Next()
+			if !ok {
+				break
+			}
+			sev = stream.Severity(pos)
+			pos++
+			fp, err := frozen.Predict(x)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ap, err := adaptive.Predict(x)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if fp == label {
+				frozenOK++
+			}
+			if ap == label {
+				onlineOK++
+			}
+			n++
+			// Prequential: the adaptive model learns after predicting.
+			if _, err := adaptive.Update(x, label); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if n == 0 {
+			break
+		}
+		fmt.Printf("%-8d %-10.2f %-18s %-18s\n", p, sev,
+			fmt.Sprintf("%.2f%%", 100*float64(frozenOK)/float64(n)),
+			fmt.Sprintf("%.2f%%", 100*float64(onlineOK)/float64(n)))
+	}
+	fmt.Println("\nthe frozen model decays as the sensors drift; the online model keeps")
+	fmt.Println("absorbing one Algorithm-1 step per labeled window and stays usable.")
+}

@@ -1,0 +1,137 @@
+// Symbolic sequence recognition with pure HDC primitives: event sequences
+// from different device behaviours (boot, normal operation, intrusion) are
+// encoded with permutation n-grams and recognized with an associative
+// cleanup memory — no gradient training at all. This demonstrates the
+// hyperdimensional substrate underneath DistHD (bundling, binding,
+// permutation, cleanup recall) on the kind of discrete event streams IoT
+// devices emit.
+//
+// Note: this example exercises internal packages directly (it lives inside
+// the module); applications outside this repo use the numeric public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/assoc"
+	"repro/internal/encoding"
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+const (
+	dim      = 4096
+	alphabet = 16 // distinct event types (syscall classes, opcodes, ...)
+	order    = 3  // trigrams
+)
+
+// behaviour generates event sequences from a labeled stochastic grammar.
+type behaviour struct {
+	name string
+	// transition[s] lists the likely successors of event s.
+	transition [][]int
+}
+
+func makeBehaviours() []behaviour {
+	return []behaviour{
+		{name: "boot", transition: [][]int{
+			0: {1}, 1: {2}, 2: {3}, 3: {4, 5}, 4: {6}, 5: {6}, 6: {7},
+			7: {0}, 8: {8}, 9: {9}, 10: {10}, 11: {11}, 12: {12}, 13: {13}, 14: {14}, 15: {15},
+		}},
+		{name: "normal", transition: [][]int{
+			0: {8}, 8: {9, 10}, 9: {8}, 10: {11}, 11: {8, 12}, 12: {8},
+			1: {8}, 2: {8}, 3: {8}, 4: {8}, 5: {8}, 6: {8}, 7: {8}, 13: {8}, 14: {8}, 15: {8},
+		}},
+		{name: "intrusion", transition: [][]int{
+			0: {13}, 13: {14}, 14: {15, 13}, 15: {13, 12}, 12: {14},
+			1: {13}, 2: {13}, 3: {13}, 4: {13}, 5: {13}, 6: {13}, 7: {13}, 8: {13}, 9: {13}, 10: {13}, 11: {13},
+		}},
+	}
+}
+
+func (b behaviour) sample(r *rng.Rand, length int) []int {
+	seq := make([]int, length)
+	state := 0
+	for i := range seq {
+		next := b.transition[state]
+		if r.Float64() < 0.15 { // noise: random event
+			state = r.Intn(alphabet)
+		} else {
+			state = next[r.Intn(len(next))]
+		}
+		seq[i] = state
+	}
+	return seq
+}
+
+func main() {
+	enc := encoding.NewNGram(alphabet, dim, order, 99)
+	r := rng.New(100)
+	behaviours := makeBehaviours()
+
+	// "Training": bundle 30 example sequences per behaviour into one
+	// prototype hypervector each and store them in the cleanup memory.
+	memory := assoc.New(dim)
+	for _, b := range behaviours {
+		proto := make([]float64, dim)
+		for i := 0; i < 30; i++ {
+			h, err := enc.EncodeSequence(b.sample(r, 40))
+			if err != nil {
+				log.Fatal(err)
+			}
+			mat.Axpy(proto, 1, h)
+		}
+		if err := memory.Store(b.name, proto); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("stored %d behaviour prototypes (%d-grams over %d event types, D=%d)\n\n",
+		memory.Len(), order, alphabet, dim)
+
+	// Recognition: classify fresh sequences by cleanup recall.
+	confusion := map[string]map[string]int{}
+	const trials = 60
+	correct := 0
+	for i := 0; i < trials; i++ {
+		b := behaviours[i%len(behaviours)]
+		h, err := enc.EncodeSequence(b.sample(r, 40))
+		if err != nil {
+			log.Fatal(err)
+		}
+		name, _, sim, err := memory.Recall(h)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if confusion[b.name] == nil {
+			confusion[b.name] = map[string]int{}
+		}
+		confusion[b.name][name]++
+		if name == b.name {
+			correct++
+		}
+		if i < 3 {
+			fmt.Printf("sample %d: true=%-9s recognized=%-9s (similarity %.3f)\n", i, b.name, name, sim)
+		}
+	}
+	fmt.Printf("\nrecognition accuracy: %.1f%% over %d sequences\n",
+		100*float64(correct)/trials, trials)
+	for _, b := range behaviours {
+		fmt.Printf("  %-9s -> %v\n", b.name, confusion[b.name])
+	}
+
+	// Unknown-behaviour rejection via thresholded recall.
+	randomSeq := make([]int, 40)
+	for i := range randomSeq {
+		randomSeq[i] = r.Intn(alphabet)
+	}
+	h, err := enc.EncodeSequence(randomSeq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, _, sim, err := memory.RecallAbove(h, 0.35); err != nil {
+		fmt.Printf("\nrandom event soup correctly rejected (best similarity %.3f < 0.35)\n", sim)
+	} else {
+		fmt.Printf("\nnote: random soup matched a prototype at %.3f (threshold too low for this run)\n", sim)
+	}
+}

@@ -1,0 +1,80 @@
+package disthd
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// MergeModels aggregates DistHD models trained on disjoint data shards
+// into one global model by summing their class hypervectors — the
+// HDC-native federated aggregation the paper's ref [5] builds on
+// (bundling is the memory operation, so bundled class vectors memorize
+// the union of what each shard learned).
+//
+// Merging is only meaningful when every party used the *same frozen
+// encoder*: train each shard with an identical Config (same Seed, same
+// Dim) and RegenRate = 0, because dimension regeneration is data-driven
+// and would diverge the encoders. MergeModels verifies encoder equality
+// by comparing probe encodings and fails loudly on mismatch.
+func MergeModels(models ...*Model) (*Model, error) {
+	if len(models) == 0 {
+		return nil, fmt.Errorf("disthd: nothing to merge")
+	}
+	first := models[0]
+	for i, m := range models[1:] {
+		switch {
+		case m.Features() != first.Features():
+			return nil, fmt.Errorf("disthd: model %d has %d features, model 0 has %d", i+1, m.Features(), first.Features())
+		case m.Dim() != first.Dim():
+			return nil, fmt.Errorf("disthd: model %d has dim %d, model 0 has %d", i+1, m.Dim(), first.Dim())
+		case m.Classes() != first.Classes():
+			return nil, fmt.Errorf("disthd: model %d has %d classes, model 0 has %d", i+1, m.Classes(), first.Classes())
+		case m.kind != first.kind:
+			return nil, fmt.Errorf("disthd: model %d uses a different encoder family", i+1)
+		}
+		if !sameEncoder(first, m) {
+			return nil, fmt.Errorf("disthd: model %d was trained with a different encoder "+
+				"(merging requires a shared seed and RegenRate = 0)", i+1)
+		}
+	}
+
+	merged := model.New(first.Classes(), first.Dim())
+	for _, m := range models {
+		for i, v := range m.clf.Model.Weights.Data {
+			merged.Weights.Data[i] += v
+		}
+	}
+	merged.RefreshNorms()
+
+	cfg := first.clf.Cfg
+	return &Model{
+		clf:  &core.Classifier{Enc: first.clf.Enc, Model: merged, Cfg: cfg},
+		kind: first.kind,
+		Info: TrainInfo{EffectiveDim: first.Dim()},
+	}, nil
+}
+
+// sameEncoder probes both encoders with a deterministic input and compares
+// outputs bit-for-bit. Any regeneration or seed difference shows up with
+// overwhelming probability.
+func sameEncoder(a, b *Model) bool {
+	q := a.Features()
+	probe := make([]float64, q)
+	for i := range probe {
+		// a fixed, feature-dependent probe touching every input
+		probe[i] = math.Sin(float64(i+1) * 0.7304631)
+	}
+	ha := make([]float64, a.Dim())
+	hb := make([]float64, b.Dim())
+	a.clf.Enc.Encode(probe, ha)
+	b.clf.Enc.Encode(probe, hb)
+	for i := range ha {
+		if ha[i] != hb[i] {
+			return false
+		}
+	}
+	return true
+}

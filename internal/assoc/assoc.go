@@ -1,0 +1,115 @@
+// Package assoc implements the associative item memory (cleanup memory)
+// that hyperdimensional architectures are built on: a store of named
+// hypervectors supporting nearest-neighbor recall of a noisy query back to
+// its clean stored form. Bundled or bound composites can be decomposed by
+// repeatedly querying the memory — the "brain-like reasoning" substrate
+// the DistHD paper cites (GrapHD, ref [17]); HDC classification itself is
+// the special case where the memory holds one item per class.
+package assoc
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// Memory is an associative store of labeled hypervectors. All items share
+// one dimensionality, fixed by the first Store.
+type Memory struct {
+	dim   int
+	names []string
+	items *mat.Dense
+	index map[string]int
+}
+
+// New returns an empty memory for hypervectors of the given dimension.
+func New(dim int) *Memory {
+	if dim <= 0 {
+		panic(fmt.Sprintf("assoc: non-positive dimension %d", dim))
+	}
+	return &Memory{dim: dim, index: map[string]int{}}
+}
+
+// Len returns the number of stored items.
+func (m *Memory) Len() int { return len(m.names) }
+
+// Dim returns the hypervector dimensionality.
+func (m *Memory) Dim() int { return m.dim }
+
+// Store adds (or replaces) an item under the given name. The hypervector
+// is copied.
+func (m *Memory) Store(name string, h []float64) error {
+	if name == "" {
+		return fmt.Errorf("assoc: empty item name")
+	}
+	if len(h) != m.dim {
+		return fmt.Errorf("assoc: item %q has dimension %d, memory expects %d", name, len(h), m.dim)
+	}
+	if i, ok := m.index[name]; ok {
+		copy(m.items.Row(i), h)
+		return nil
+	}
+	// Grow the backing matrix by one row.
+	grown := mat.New(len(m.names)+1, m.dim)
+	if m.items != nil {
+		copy(grown.Data, m.items.Data)
+	}
+	copy(grown.Row(len(m.names)), h)
+	m.items = grown
+	m.index[name] = len(m.names)
+	m.names = append(m.names, name)
+	return nil
+}
+
+// Recall returns the stored item most similar to the query, its name, and
+// the cosine similarity. An empty memory returns an error.
+func (m *Memory) Recall(query []float64) (name string, item []float64, sim float64, err error) {
+	if m.Len() == 0 {
+		return "", nil, 0, fmt.Errorf("assoc: recall from empty memory")
+	}
+	if len(query) != m.dim {
+		return "", nil, 0, fmt.Errorf("assoc: query has dimension %d, memory expects %d", len(query), m.dim)
+	}
+	best := 0
+	bestSim := mat.CosineSim(query, m.items.Row(0))
+	for i := 1; i < m.Len(); i++ {
+		if s := mat.CosineSim(query, m.items.Row(i)); s > bestSim {
+			best, bestSim = i, s
+		}
+	}
+	out := make([]float64, m.dim)
+	copy(out, m.items.Row(best))
+	return m.names[best], out, bestSim, nil
+}
+
+// RecallAbove behaves like Recall but fails the lookup when the best
+// similarity is below the threshold — distinguishing "recognized, cleaned
+// up" from "unknown input", which a bare argmax cannot.
+func (m *Memory) RecallAbove(query []float64, threshold float64) (string, []float64, float64, error) {
+	name, item, sim, err := m.Recall(query)
+	if err != nil {
+		return "", nil, 0, err
+	}
+	if sim < threshold {
+		return "", nil, sim, fmt.Errorf("assoc: best match %q at similarity %.3f below threshold %.3f", name, sim, threshold)
+	}
+	return name, item, sim, nil
+}
+
+// Get returns the clean stored item by name.
+func (m *Memory) Get(name string) ([]float64, error) {
+	i, ok := m.index[name]
+	if !ok {
+		return nil, fmt.Errorf("assoc: no item named %q", name)
+	}
+	out := make([]float64, m.dim)
+	copy(out, m.items.Row(i))
+	return out, nil
+}
+
+// Names returns the stored item names in insertion order (copy).
+func (m *Memory) Names() []string {
+	out := make([]string, len(m.names))
+	copy(out, m.names)
+	return out
+}

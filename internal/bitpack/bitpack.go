@@ -1,0 +1,161 @@
+// Package bitpack implements deployment-grade bipolar hypervector
+// inference: hypervectors packed one bit per dimension into uint64 words,
+// with Hamming similarity computed by XOR + popcount. This is the
+// arithmetic an edge accelerator or microcontroller actually executes for
+// a 1-bit HDC model (the most robust configuration in the paper's Fig. 8),
+// and it is typically an order of magnitude faster than float dot
+// products at equal dimensionality.
+package bitpack
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Vector is a packed bipolar hypervector: bit i set means dimension i is
+// +1, clear means −1. Dim is the logical dimensionality; trailing bits of
+// the last word are kept zero.
+type Vector struct {
+	Dim   int
+	Words []uint64
+}
+
+// NewVector returns an all-(-1) packed vector of the given dimensionality.
+func NewVector(dim int) *Vector {
+	if dim <= 0 {
+		panic(fmt.Sprintf("bitpack: non-positive dimension %d", dim))
+	}
+	return &Vector{Dim: dim, Words: make([]uint64, (dim+63)/64)}
+}
+
+// FromFloats packs the signs of a float hypervector (zero counts +1,
+// matching the repo-wide sign convention).
+func FromFloats(h []float64) *Vector {
+	v := NewVector(len(h))
+	for i, x := range h {
+		if x >= 0 {
+			v.Words[i/64] |= 1 << uint(i%64)
+		}
+	}
+	return v
+}
+
+// ToFloats unpacks to ±1 float values.
+func (v *Vector) ToFloats() []float64 {
+	out := make([]float64, v.Dim)
+	for i := range out {
+		if v.Bit(i) {
+			out[i] = 1
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// Bit reports whether dimension i is +1.
+func (v *Vector) Bit(i int) bool {
+	return v.Words[i/64]&(1<<uint(i%64)) != 0
+}
+
+// SetBit assigns dimension i (+1 when set).
+func (v *Vector) SetBit(i int, set bool) {
+	if set {
+		v.Words[i/64] |= 1 << uint(i%64)
+	} else {
+		v.Words[i/64] &^= 1 << uint(i%64)
+	}
+}
+
+// Clone returns a deep copy.
+func (v *Vector) Clone() *Vector {
+	w := make([]uint64, len(v.Words))
+	copy(w, v.Words)
+	return &Vector{Dim: v.Dim, Words: w}
+}
+
+// HammingDistance counts dimensions where a and b disagree.
+func HammingDistance(a, b *Vector) int {
+	if a.Dim != b.Dim {
+		panic(fmt.Sprintf("bitpack: dimension mismatch %d vs %d", a.Dim, b.Dim))
+	}
+	d := 0
+	for i := range a.Words {
+		d += bits.OnesCount64(a.Words[i] ^ b.Words[i])
+	}
+	return d
+}
+
+// Agreement returns Dim − 2·HammingDistance, i.e. the dot product of the
+// two bipolar vectors — the quantity HDC classification maximizes.
+func Agreement(a, b *Vector) int {
+	return a.Dim - 2*HammingDistance(a, b)
+}
+
+// Bind XORs a and b element-wise — the packed form of bipolar
+// multiplication (+1·+1 = +1 maps to XNOR of bits; we store the XNOR by
+// XOR-ing and complementing within the valid mask).
+func Bind(a, b *Vector) *Vector {
+	if a.Dim != b.Dim {
+		panic(fmt.Sprintf("bitpack: dimension mismatch %d vs %d", a.Dim, b.Dim))
+	}
+	out := NewVector(a.Dim)
+	for i := range a.Words {
+		out.Words[i] = ^(a.Words[i] ^ b.Words[i])
+	}
+	out.maskTail()
+	return out
+}
+
+// maskTail clears the unused bits of the last word so popcounts stay
+// correct after complement operations.
+func (v *Vector) maskTail() {
+	rem := v.Dim % 64
+	if rem != 0 {
+		v.Words[len(v.Words)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// Model is a packed bipolar classifier: one packed class vector per class.
+type Model struct {
+	Classes []*Vector
+}
+
+// NewModel packs the sign view of float class hypervectors (rows).
+func NewModel(rows [][]float64) *Model {
+	m := &Model{}
+	for _, r := range rows {
+		m.Classes = append(m.Classes, FromFloats(r))
+	}
+	return m
+}
+
+// Predict returns the class whose packed vector agrees with q the most.
+func (m *Model) Predict(q *Vector) int {
+	best, bestScore := 0, Agreement(m.Classes[0], q)
+	for c := 1; c < len(m.Classes); c++ {
+		if s := Agreement(m.Classes[c], q); s > bestScore {
+			best, bestScore = c, s
+		}
+	}
+	return best
+}
+
+// Scores returns per-class agreement counts.
+func (m *Model) Scores(q *Vector, dst []int) []int {
+	if len(dst) != len(m.Classes) {
+		panic("bitpack: Scores dst length mismatch")
+	}
+	for c := range m.Classes {
+		dst[c] = Agreement(m.Classes[c], q)
+	}
+	return dst
+}
+
+// MemoryBits returns the size of the packed model.
+func (m *Model) MemoryBits() int {
+	if len(m.Classes) == 0 {
+		return 0
+	}
+	return len(m.Classes) * m.Classes[0].Dim
+}

@@ -1,0 +1,169 @@
+package bitpack
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hv"
+	"repro/internal/rng"
+)
+
+func TestFromToFloatsRoundTrip(t *testing.T) {
+	h := []float64{1, -1, -1, 1, 1, -1, 0.5, -0.5, 0}
+	v := FromFloats(h)
+	back := v.ToFloats()
+	want := []float64{1, -1, -1, 1, 1, -1, 1, -1, 1} // signs, zero → +1
+	for i := range want {
+		if back[i] != want[i] {
+			t.Fatalf("round trip[%d] = %v, want %v", i, back[i], want[i])
+		}
+	}
+}
+
+func TestBitSetBit(t *testing.T) {
+	v := NewVector(130) // crosses word boundaries
+	v.SetBit(0, true)
+	v.SetBit(64, true)
+	v.SetBit(129, true)
+	for i := 0; i < 130; i++ {
+		want := i == 0 || i == 64 || i == 129
+		if v.Bit(i) != want {
+			t.Fatalf("bit %d = %v, want %v", i, v.Bit(i), want)
+		}
+	}
+	v.SetBit(64, false)
+	if v.Bit(64) {
+		t.Fatal("SetBit(false) did not clear")
+	}
+}
+
+func TestHammingAndAgreement(t *testing.T) {
+	a := FromFloats([]float64{1, 1, -1, -1})
+	b := FromFloats([]float64{1, -1, -1, 1})
+	if d := HammingDistance(a, b); d != 2 {
+		t.Fatalf("Hamming = %d, want 2", d)
+	}
+	// agreement = dim - 2*hamming = 0; matches bipolar dot product
+	if ag := Agreement(a, b); ag != 0 {
+		t.Fatalf("Agreement = %d, want 0", ag)
+	}
+	if ag := Agreement(a, a); ag != 4 {
+		t.Fatalf("self Agreement = %d, want 4", ag)
+	}
+}
+
+func TestHammingMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch did not panic")
+		}
+	}()
+	HammingDistance(NewVector(4), NewVector(5))
+}
+
+func TestBindMatchesFloatBind(t *testing.T) {
+	r := rng.New(1)
+	fa := hv.RandomBipolar(200, r)
+	fb := hv.RandomBipolar(200, r)
+	packed := Bind(FromFloats(fa), FromFloats(fb))
+	want := hv.Bind(fa, fb)
+	got := packed.ToFloats()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("packed Bind[%d] = %v, float Bind = %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBindTailMasked(t *testing.T) {
+	// After the complement in Bind, tail bits must stay clear or
+	// popcounts would be wrong.
+	a := NewVector(70)
+	b := NewVector(70)
+	out := Bind(a, b) // all dims agree (-1 * -1 = +1 everywhere)
+	if d := HammingDistance(out, out); d != 0 {
+		t.Fatal("self-distance nonzero, tail bits leaked")
+	}
+	if ag := Agreement(out, out); ag != 70 {
+		t.Fatalf("self agreement = %d, want 70", ag)
+	}
+}
+
+// Packed agreement must equal the float dot product of the sign vectors,
+// for arbitrary vectors and dimensions (including non-multiples of 64).
+func TestAgreementMatchesFloatDot(t *testing.T) {
+	f := func(seed uint64, rawDim uint16) bool {
+		dim := int(rawDim%300) + 1
+		r := rng.New(seed)
+		fa := hv.RandomBipolar(dim, r)
+		fb := hv.RandomBipolar(dim, r)
+		want := int(hv.Dot(fa, fb))
+		got := Agreement(FromFloats(fa), FromFloats(fb))
+		return got == want
+	}
+	cfg := &quick.Config{MaxCount: 100}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelPredict(t *testing.T) {
+	r := rng.New(2)
+	const dim, k = 1024, 5
+	rows := make([][]float64, k)
+	for c := range rows {
+		rows[c] = hv.RandomBipolar(dim, r)
+	}
+	m := NewModel(rows)
+	if m.MemoryBits() != dim*k {
+		t.Fatalf("MemoryBits = %d", m.MemoryBits())
+	}
+	// A noisy copy of class 3 must classify as 3.
+	noisy := make([]float64, dim)
+	copy(noisy, rows[3])
+	for i := 0; i < dim/10; i++ {
+		noisy[r.Intn(dim)] *= -1
+	}
+	if got := m.Predict(FromFloats(noisy)); got != 3 {
+		t.Fatalf("Predict = %d, want 3", got)
+	}
+	scores := m.Scores(FromFloats(noisy), make([]int, k))
+	best := 0
+	for c, s := range scores {
+		if s > scores[best] {
+			best = c
+		}
+	}
+	if best != 3 {
+		t.Fatal("Scores argmax disagrees with Predict")
+	}
+}
+
+func TestNewVectorValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero dimension accepted")
+		}
+	}()
+	NewVector(0)
+}
+
+func BenchmarkPackedAgreement4096(b *testing.B) {
+	r := rng.New(3)
+	x := FromFloats(hv.RandomBipolar(4096, r))
+	y := FromFloats(hv.RandomBipolar(4096, r))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Agreement(x, y)
+	}
+}
+
+func BenchmarkFloatDot4096(b *testing.B) {
+	r := rng.New(3)
+	x := hv.RandomBipolar(4096, r)
+	y := hv.RandomBipolar(4096, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = hv.Dot(x, y)
+	}
+}

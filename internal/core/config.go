@@ -1,0 +1,118 @@
+// Package core implements DistHD, the paper's primary contribution: an HDC
+// classifier with a learner-aware dynamic encoder. Each training iteration
+// runs the adaptive learning rule (Algorithm 1, package model), buckets
+// every training sample by its top-2 classification outcome, scores each
+// hypervector dimension by how much it misleads classification
+// (Algorithm 2), and regenerates the worst-scoring dimensions in the
+// encoder. See DESIGN.md §1 for the full pipeline and the documented
+// discrepancy between Algorithm 2's pseudocode and the paper's prose.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Config collects every DistHD hyperparameter. The zero value is not
+// usable; start from DefaultConfig.
+type Config struct {
+	// Dim is the physical hypervector dimensionality D (paper: 0.5k).
+	Dim int
+	// LearningRate is η in Algorithm 1.
+	LearningRate float64
+	// Alpha weights distance-from-true-label when scoring dimensions;
+	// larger values favor sensitivity (lower false-negative rate, §III-C).
+	Alpha float64
+	// Beta weights closeness-to-top-1-wrong-label; larger values favor
+	// specificity (lower false-positive rate).
+	Beta float64
+	// Theta weights closeness-to-top-2-wrong-label for samples whose true
+	// label missed the top 2 entirely. The paper requires Theta < Beta.
+	Theta float64
+	// RegenRate is R, the fraction of dimensions eligible for regeneration
+	// each iteration (paper's regeneration rate, e.g. 0.10 = 10%).
+	RegenRate float64
+	// Iterations is the maximum number of train+regenerate rounds.
+	Iterations int
+	// Patience stops early after this many rounds without training-accuracy
+	// improvement; 0 disables early stopping.
+	Patience int
+	// RegenPatience freezes the encoder (stops regenerating, keeps
+	// training) after this many consecutive iterations without
+	// training-accuracy improvement. On noisy tasks the train error never
+	// reaches zero, so Algorithm 2 would otherwise keep nominating
+	// dimensions forever and the resulting churn prevents convergence —
+	// the paper's "train until convergence" protocol implies regeneration
+	// ceases once learning plateaus. 0 disables the freeze.
+	RegenPatience int
+	// EpochsPerIter is how many adaptive-learning passes run between
+	// regenerations (the paper uses a single pass; more can help on small D).
+	EpochsPerIter int
+	// UseLiteralAlgorithm2 switches the incorrect-bucket scoring to the
+	// literal line-11 formula from the paper's pseudocode instead of the
+	// (self-consistent) prose formula. Kept for the ablation study.
+	UseLiteralAlgorithm2 bool
+	// WarmStart, when true, initializes each regenerated dimension's class
+	// weights with the class-conditional mean of the new encoded column
+	// (a single-pass bundling restricted to the new dimensions — the
+	// "Hyperdimensional Train (Retrain)" box in the paper's Fig. 3).
+	// Without it a regenerated dimension only ever receives weight from
+	// misclassified samples and stays nearly dead late in training.
+	WarmStart bool
+	// Seed drives shuffling; the encoder owns its own seed.
+	Seed uint64
+}
+
+// DefaultConfig returns the hyperparameters used for the paper-shaped
+// experiments: D = 512, η = 0.05, α = β = 1, θ = 0.5, R = 10%. Equal α and
+// β keep the distance score balanced between "far from the true label" and
+// "close to the wrong label"; Fig. 6 of the paper explores unequal ratios
+// as a sensitivity/specificity trade-off knob.
+func DefaultConfig() Config {
+	return Config{
+		Dim:           512,
+		LearningRate:  0.05,
+		Alpha:         1.0,
+		Beta:          1.0,
+		Theta:         0.5,
+		RegenRate:     0.10,
+		Iterations:    20,
+		Patience:      0,
+		RegenPatience: 3,
+		EpochsPerIter: 1,
+		WarmStart:     true,
+		Seed:          1,
+	}
+}
+
+// Validate reports the first configuration problem, or nil.
+func (c *Config) Validate() error {
+	switch {
+	case c.Dim <= 0:
+		return fmt.Errorf("disthd: Dim must be positive, got %d", c.Dim)
+	case c.LearningRate <= 0:
+		return fmt.Errorf("disthd: LearningRate must be positive, got %v", c.LearningRate)
+	case c.Alpha <= 0 || c.Beta <= 0 || c.Theta <= 0:
+		return fmt.Errorf("disthd: weight parameters must be positive (α=%v β=%v θ=%v)", c.Alpha, c.Beta, c.Theta)
+	case c.Theta >= c.Beta:
+		return fmt.Errorf("disthd: paper requires θ < β, got θ=%v β=%v", c.Theta, c.Beta)
+	case c.RegenRate < 0 || c.RegenRate > 1:
+		return fmt.Errorf("disthd: RegenRate must be in [0,1], got %v", c.RegenRate)
+	case c.Iterations <= 0:
+		return fmt.Errorf("disthd: Iterations must be positive, got %d", c.Iterations)
+	case c.EpochsPerIter <= 0:
+		return fmt.Errorf("disthd: EpochsPerIter must be positive, got %d", c.EpochsPerIter)
+	}
+	return nil
+}
+
+// trainConfig adapts the DistHD config to the Algorithm 1 trainer.
+func (c *Config) trainConfig(iter int) model.TrainConfig {
+	return model.TrainConfig{
+		LearningRate: c.LearningRate,
+		Epochs:       c.EpochsPerIter,
+		// A distinct, deterministic shuffle seed per iteration.
+		Seed: c.Seed ^ (uint64(iter)+1)*0x9e3779b97f4a7c15,
+	}
+}

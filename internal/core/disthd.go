@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/encoding"
+	"repro/internal/mat"
+	"repro/internal/model"
+)
+
+// Classifier is a trained DistHD model: a (dynamically regenerated) encoder
+// plus the class-hypervector model learned over it.
+type Classifier struct {
+	Enc   encoding.Regenerable
+	Model *model.Model
+	Cfg   Config
+}
+
+// IterStats records one training iteration.
+type IterStats struct {
+	// Iter is the 0-based iteration index.
+	Iter int
+	// TrainAcc is the training accuracy observed during the final adaptive
+	// pass of this iteration.
+	TrainAcc float64
+	// Regenerated is how many dimensions were dropped and redrawn.
+	Regenerated int
+	// Bucket census from the top-2 classification.
+	NumCorrect, NumPartial, NumIncorrect int
+}
+
+// TrainStats summarizes a full DistHD training run.
+type TrainStats struct {
+	Iters []IterStats
+	// TotalRegenerated counts dimension regenerations across all
+	// iterations (with multiplicity).
+	TotalRegenerated int
+	// EffectiveDim is D* = D + TotalRegenerated, the paper's effective
+	// dimensionality (§IV-B).
+	EffectiveDim int
+	// Converged reports whether early stopping fired before the iteration
+	// budget was exhausted.
+	Converged bool
+}
+
+// FinalTrainAcc returns the training accuracy of the last iteration, or 0
+// if no iterations ran.
+func (s *TrainStats) FinalTrainAcc() float64 {
+	if len(s.Iters) == 0 {
+		return 0
+	}
+	return s.Iters[len(s.Iters)-1].TrainAcc
+}
+
+// Train runs the full DistHD procedure over raw feature matrix X with
+// labels y: encode once, then iterate adaptive learning → top-2 bucketing →
+// Algorithm 2 dimension scoring → regeneration. Only the regenerated
+// columns of the encoded batch are recomputed between iterations.
+func Train(enc encoding.Regenerable, X *mat.Dense, y []int, classes int, cfg Config) (*Classifier, *TrainStats, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if X.Rows != len(y) {
+		return nil, nil, fmt.Errorf("disthd: %d samples but %d labels", X.Rows, len(y))
+	}
+	if X.Rows == 0 {
+		return nil, nil, fmt.Errorf("disthd: empty training set")
+	}
+	if enc.Dim() != cfg.Dim {
+		return nil, nil, fmt.Errorf("disthd: encoder dim %d != config dim %d", enc.Dim(), cfg.Dim)
+	}
+	if enc.Features() != X.Cols {
+		return nil, nil, fmt.Errorf("disthd: encoder expects %d features, data has %d", enc.Features(), X.Cols)
+	}
+	for i, label := range y {
+		if label < 0 || label >= classes {
+			return nil, nil, fmt.Errorf("disthd: label %d at row %d outside [0,%d)", label, i, classes)
+		}
+	}
+
+	m := model.New(classes, cfg.Dim)
+	H := enc.EncodeBatch(X)
+	stats := &TrainStats{}
+	best := -1.0
+	stall := 0
+	regenBest := -1.0
+	regenStall := 0
+	regenFrozen := false
+
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		res, err := model.Fit(m, H, y, cfg.trainConfig(iter))
+		if err != nil {
+			return nil, nil, err
+		}
+		acc := res.History[len(res.History)-1]
+		is := IterStats{Iter: iter, TrainAcc: acc}
+
+		// Early-stopping bookkeeping happens before regeneration so a
+		// converged model is not perturbed by one final regeneration.
+		if cfg.Patience > 0 {
+			if acc > best+1e-9 {
+				best = acc
+				stall = 0
+			} else {
+				stall++
+			}
+			if stall >= cfg.Patience {
+				stats.Iters = append(stats.Iters, is)
+				stats.Converged = true
+				break
+			}
+		}
+
+		// Freeze the encoder once training accuracy plateaus (see
+		// Config.RegenPatience).
+		if cfg.RegenPatience > 0 && !regenFrozen {
+			if acc > regenBest+1e-9 {
+				regenBest = acc
+				regenStall = 0
+			} else {
+				regenStall++
+				if regenStall >= cfg.RegenPatience {
+					regenFrozen = true
+				}
+			}
+		}
+
+		// No regeneration after the last iteration: the returned model must
+		// be trained under its final encoder.
+		if iter < cfg.Iterations-1 && !regenFrozen {
+			ds := IdentifyUndesired(H, y, m, &cfg)
+			is.NumCorrect = ds.NumCorrect
+			is.NumPartial = ds.NumPartial
+			is.NumIncorrect = ds.NumIncorrect
+			if len(ds.Undesired) > 0 {
+				enc.Regenerate(ds.Undesired)
+				refreshColumns(enc, X, H, ds.Undesired)
+				m.ZeroDims(ds.Undesired)
+				if cfg.WarmStart {
+					warmStartDims(m, H, y, ds.Undesired)
+				}
+				is.Regenerated = len(ds.Undesired)
+				stats.TotalRegenerated += len(ds.Undesired)
+			}
+		}
+		stats.Iters = append(stats.Iters, is)
+	}
+
+	stats.EffectiveDim = cfg.Dim + stats.TotalRegenerated
+	return &Classifier{Enc: enc, Model: m, Cfg: cfg}, stats, nil
+}
+
+// warmStartDims seeds the class weights of freshly regenerated dimensions
+// with the class-conditional mean of the new encoded column — a one-pass
+// bundling restricted to those dimensions, so they participate in
+// classification immediately instead of waiting for error-driven updates.
+func warmStartDims(m *model.Model, H *mat.Dense, y []int, dims []int) {
+	k := m.Classes()
+	counts := make([]float64, k)
+	for _, label := range y {
+		counts[label]++
+	}
+	sums := mat.New(k, len(dims))
+	for i := 0; i < H.Rows; i++ {
+		row := H.Row(i)
+		srow := sums.Row(y[i])
+		for j, d := range dims {
+			srow[j] += row[d]
+		}
+	}
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		srow := sums.Row(c)
+		wrow := m.Weights.Row(c)
+		for j, d := range dims {
+			wrow[d] = srow[j] / counts[c]
+		}
+	}
+	m.RefreshNorms()
+}
+
+// refreshColumns recomputes the regenerated columns of H from the raw
+// features, in parallel over rows.
+func refreshColumns(enc encoding.Regenerable, X, H *mat.Dense, dims []int) {
+	mat.ParallelFor(X.Rows, func(lo, hi int) {
+		buf := make([]float64, len(dims))
+		for i := lo; i < hi; i++ {
+			enc.EncodeDims(X.Row(i), dims, buf)
+			row := H.Row(i)
+			for j, d := range dims {
+				row[d] = buf[j]
+			}
+		}
+	})
+}
+
+// Update performs one online adaptive-learning step (Algorithm 1) on a
+// single labeled sample: encode, and if the prediction is wrong, weaken
+// the wrongly-winning class and strengthen the true class. Returns whether
+// the pre-update prediction was already correct. This is the on-device
+// continual-learning primitive for edge deployments; it never regenerates
+// dimensions (regeneration needs batch statistics).
+func (c *Classifier) Update(x []float64, label int, lr float64) bool {
+	h := make([]float64, c.Enc.Dim())
+	c.Enc.Encode(x, h)
+	scratch := make([]float64, c.Model.Classes())
+	return c.Model.AdaptiveStep(h, label, lr, scratch)
+}
+
+// Predict classifies a single raw feature vector.
+func (c *Classifier) Predict(x []float64) int {
+	h := make([]float64, c.Enc.Dim())
+	c.Enc.Encode(x, h)
+	return c.Model.Predict(h)
+}
+
+// PredictTop2 returns the two most similar classes for x, best first.
+func (c *Classifier) PredictTop2(x []float64) (int, int) {
+	h := make([]float64, c.Enc.Dim())
+	c.Enc.Encode(x, h)
+	return c.Model.Top2(h)
+}
+
+// Scores returns the per-class cosine similarities for x.
+func (c *Classifier) Scores(x []float64) []float64 {
+	h := make([]float64, c.Enc.Dim())
+	c.Enc.Encode(x, h)
+	return c.Model.Scores(h, make([]float64, c.Model.Classes()))
+}
+
+// PredictBatch classifies every row of X.
+func (c *Classifier) PredictBatch(X *mat.Dense) []int {
+	return c.Model.PredictBatch(c.Enc.EncodeBatch(X))
+}
+
+// Accuracy returns classification accuracy over a labeled raw batch.
+func (c *Classifier) Accuracy(X *mat.Dense, y []int) float64 {
+	return model.Accuracy(c.Model, c.Enc.EncodeBatch(X), y)
+}
+
+// TopKAccuracy returns the top-k accuracy over a labeled raw batch.
+func (c *Classifier) TopKAccuracy(X *mat.Dense, y []int, k int) float64 {
+	return model.TopKAccuracy(c.Model, c.Enc.EncodeBatch(X), y, k)
+}

@@ -1,0 +1,138 @@
+// Package cost provides an analytical edge-hardware cost model for the
+// learners in this repository: operation counts, model memory footprint,
+// and first-order energy estimates for a single inference. The paper
+// motivates DistHD with the resource limits of edge devices (§I) and
+// reports only wall-clock time on a desktop CPU; this model makes the
+// underlying asymmetries explicit — a D=0.5k HDC model moves 8× fewer
+// bytes and executes 8× fewer MACs than the D*=4k static baseline, and a
+// 1-bit deployment replaces float MACs with XOR+popcount.
+//
+// Energy constants are first-order per-operation figures for a 45 nm
+// process (Horowitz, ISSCC'14 keynote): they are not meant to predict a
+// specific chip, only to rank configurations the way an edge designer
+// would.
+package cost
+
+import "fmt"
+
+// Energy per operation in picojoules (45 nm, Horowitz ISSCC'14).
+const (
+	EnergyFloatMulPJ  = 3.7    // 32-bit float multiply
+	EnergyFloatAddPJ  = 0.9    // 32-bit float add
+	EnergyIntOpPJ     = 0.1    // 8-bit integer ALU op (add/xor/popcnt step)
+	EnergySRAMReadPJ  = 5.0    // 32-bit read from a ~32 KiB SRAM
+	EnergyDRAMReadPJ  = 640.0  // 32-bit read from DRAM
+	sramCapacityBytes = 262144 // 256 KiB on-chip budget assumed for edge parts
+)
+
+// Profile is the per-inference cost of one model configuration.
+type Profile struct {
+	Name string
+	// MACs counts multiply-accumulate operations (float unless BitOps).
+	MACs int64
+	// BitOps counts XOR+popcount word operations (1-bit deployments).
+	BitOps int64
+	// ModelBytes is the resident model size.
+	ModelBytes int64
+	// FitsSRAM reports whether the model fits the assumed on-chip budget.
+	FitsSRAM bool
+	// EnergyPJ is the estimated energy of one inference in picojoules.
+	EnergyPJ float64
+}
+
+// EnergyUJ returns the energy estimate in microjoules.
+func (p Profile) EnergyUJ() float64 { return p.EnergyPJ / 1e6 }
+
+// memEnergy returns the energy to stream `bytes` of model once, from SRAM
+// if the whole model fits on chip and from DRAM otherwise.
+func memEnergy(modelBytes int64) float64 {
+	words := float64(modelBytes) / 4
+	if modelBytes <= sramCapacityBytes {
+		return words * EnergySRAMReadPJ
+	}
+	return words * EnergyDRAMReadPJ
+}
+
+// HDCFloat profiles a float-valued HDC classifier: RBF encode (q MACs per
+// dimension plus the trig, charged as 4 float ops) then k similarity dot
+// products of length D.
+func HDCFloat(name string, q, d, k int) Profile {
+	encodeMACs := int64(q) * int64(d)
+	simMACs := int64(k) * int64(d)
+	macs := encodeMACs + simMACs
+	// Base vectors + class vectors at float32.
+	modelBytes := int64(d)*int64(q)*4 + int64(k)*int64(d)*4
+	e := float64(macs)*(EnergyFloatMulPJ+EnergyFloatAddPJ) +
+		float64(4*d)*EnergyFloatAddPJ + // cos/sin pair, first-order
+		memEnergy(modelBytes)
+	return Profile{
+		Name:       name,
+		MACs:       macs,
+		ModelBytes: modelBytes,
+		FitsSRAM:   modelBytes <= sramCapacityBytes,
+		EnergyPJ:   e,
+	}
+}
+
+// HDCBinary profiles a 1-bit HDC deployment: bipolar encode (still q MACs
+// per dimension to project, then sign) and k packed Hamming comparisons of
+// D/64 word ops each.
+func HDCBinary(name string, q, d, k int) Profile {
+	encodeMACs := int64(q) * int64(d)
+	words := int64((d + 63) / 64)
+	bitOps := int64(k) * words * 2 // xor + popcount per word
+	modelBytes := int64(d)*int64(q)*4 + int64(k)*words*8
+	e := float64(encodeMACs)*(EnergyFloatMulPJ+EnergyFloatAddPJ) +
+		float64(bitOps)*EnergyIntOpPJ +
+		memEnergy(modelBytes)
+	return Profile{
+		Name:       name,
+		MACs:       encodeMACs,
+		BitOps:     bitOps,
+		ModelBytes: modelBytes,
+		FitsSRAM:   modelBytes <= sramCapacityBytes,
+		EnergyPJ:   e,
+	}
+}
+
+// MLP profiles a fully-connected network given its layer widths
+// (including input and output).
+func MLP(name string, layers []int) (Profile, error) {
+	if len(layers) < 2 {
+		return Profile{}, fmt.Errorf("cost: MLP needs at least input and output layers")
+	}
+	var macs, params int64
+	for l := 0; l+1 < len(layers); l++ {
+		if layers[l] <= 0 || layers[l+1] <= 0 {
+			return Profile{}, fmt.Errorf("cost: non-positive layer width at %d", l)
+		}
+		macs += int64(layers[l]) * int64(layers[l+1])
+		params += int64(layers[l])*int64(layers[l+1]) + int64(layers[l+1])
+	}
+	modelBytes := params * 4
+	e := float64(macs)*(EnergyFloatMulPJ+EnergyFloatAddPJ) + memEnergy(modelBytes)
+	return Profile{
+		Name:       name,
+		MACs:       macs,
+		ModelBytes: modelBytes,
+		FitsSRAM:   modelBytes <= sramCapacityBytes,
+		EnergyPJ:   e,
+	}, nil
+}
+
+// SVMRFF profiles an RFF-lifted one-vs-rest SVM: the lift (q MACs per
+// feature plus trig) and k decision dot products.
+func SVMRFF(name string, q, rffDim, k int) Profile {
+	liftMACs := int64(q) * int64(rffDim)
+	decMACs := int64(k) * int64(rffDim+1)
+	macs := liftMACs + decMACs
+	modelBytes := int64(rffDim)*int64(q)*4 + int64(k)*int64(rffDim+1)*4
+	e := float64(macs)*(EnergyFloatMulPJ+EnergyFloatAddPJ) + memEnergy(modelBytes)
+	return Profile{
+		Name:       name,
+		MACs:       macs,
+		ModelBytes: modelBytes,
+		FitsSRAM:   modelBytes <= sramCapacityBytes,
+		EnergyPJ:   e,
+	}
+}

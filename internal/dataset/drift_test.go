@@ -1,0 +1,186 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func driftSource(t *testing.T) *Dataset {
+	t.Helper()
+	spec := tinySpec(31)
+	train, _, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return train
+}
+
+func TestDriftStreamValidation(t *testing.T) {
+	d := driftSource(t)
+	if _, err := NewDriftStream(d, DriftShift, 0, 1, 1); err == nil {
+		t.Fatal("zero fraction accepted")
+	}
+	if _, err := NewDriftStream(d, DriftShift, 1.5, 1, 1); err == nil {
+		t.Fatal("fraction > 1 accepted")
+	}
+	if _, err := NewDriftStream(d, DriftShift, 0.5, -1, 1); err == nil {
+		t.Fatal("negative severity accepted")
+	}
+	if _, err := NewDriftStream(d, DriftKind(9), 0.5, 1, 1); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	empty := &Dataset{Name: "e", X: mat.New(0, 3), Y: nil, Classes: 2}
+	if _, err := NewDriftStream(empty, DriftShift, 0.5, 1, 1); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestDriftStreamConsumesAll(t *testing.T) {
+	d := driftSource(t)
+	s, err := NewDriftStream(d, DriftShift, 0.5, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != d.N() || s.Remaining() != d.N() {
+		t.Fatal("length bookkeeping wrong")
+	}
+	n := 0
+	for {
+		x, label, ok := s.Next()
+		if !ok {
+			break
+		}
+		if len(x) != d.Features() {
+			t.Fatal("wrong sample width")
+		}
+		if label < 0 || label >= d.Classes {
+			t.Fatal("label out of range")
+		}
+		n++
+	}
+	if n != d.N() {
+		t.Fatalf("consumed %d of %d", n, d.N())
+	}
+	if s.Remaining() != 0 {
+		t.Fatal("Remaining after exhaustion not 0")
+	}
+}
+
+func TestDriftSeverityGrows(t *testing.T) {
+	d := driftSource(t)
+	s, err := NewDriftStream(d, DriftShift, 1.0, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Severity(0) != 0 {
+		t.Fatalf("initial severity %v, want 0", s.Severity(0))
+	}
+	if math.Abs(s.Severity(d.N()-1)-3) > 1e-12 {
+		t.Fatalf("final severity %v, want 3", s.Severity(d.N()-1))
+	}
+	if s.Severity(d.N()/2) <= s.Severity(1) {
+		t.Fatal("severity not growing")
+	}
+}
+
+func TestDriftShiftAffectsOnlyChosenFeatures(t *testing.T) {
+	d := driftSource(t)
+	s, err := NewDriftStream(d, DriftShift, 0.25, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Skip to the last sample where drift is maximal.
+	var lastX []float64
+	for {
+		x, _, ok := s.Next()
+		if !ok {
+			break
+		}
+		lastX = x
+	}
+	orig := d.X.Row(d.N() - 1)
+	changed := 0
+	for j := range lastX {
+		if lastX[j] != orig[j] {
+			changed++
+		}
+	}
+	want := len(s.affected)
+	if changed != want {
+		t.Fatalf("%d features changed, want %d", changed, want)
+	}
+}
+
+func TestDriftScaleAndNoiseKinds(t *testing.T) {
+	d := driftSource(t)
+	for _, kind := range []DriftKind{DriftScale, DriftNoise} {
+		s, err := NewDriftStream(d, kind, 0.5, 2, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// First sample has severity 0: must equal the source exactly.
+		x0, _, ok := s.Next()
+		if !ok {
+			t.Fatal("empty stream")
+		}
+		for j := range x0 {
+			if x0[j] != d.X.At(0, j) {
+				t.Fatalf("kind %d corrupted the zero-severity sample", kind)
+			}
+		}
+		// Drain; the last sample must differ from the source.
+		var lastX []float64
+		for {
+			x, _, ok := s.Next()
+			if !ok {
+				break
+			}
+			lastX = x
+		}
+		same := true
+		for j := range lastX {
+			if lastX[j] != d.X.At(d.N()-1, j) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("kind %d never corrupted the final sample", kind)
+		}
+	}
+}
+
+func TestDriftResetReplaysDeterministically(t *testing.T) {
+	d := driftSource(t)
+	s, err := NewDriftStream(d, DriftShift, 0.5, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first [][]float64
+	for {
+		x, _, ok := s.Next()
+		if !ok {
+			break
+		}
+		first = append(first, x)
+	}
+	s.Reset()
+	i := 0
+	for {
+		x, _, ok := s.Next()
+		if !ok {
+			break
+		}
+		for j := range x {
+			if x[j] != first[i][j] {
+				t.Fatal("DriftShift replay differs after Reset")
+			}
+		}
+		i++
+	}
+	if i != len(first) {
+		t.Fatal("replay length differs")
+	}
+}

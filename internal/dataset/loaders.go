@@ -1,0 +1,167 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/mat"
+)
+
+// ReadCSV parses a headerless numeric CSV stream where labelCol holds an
+// integer class label and every other column is a float feature. Labels may
+// be any integers; they are re-indexed densely to [0, k) in first-seen
+// order. Use labelCol = -1 to mean the last column.
+func ReadCSV(r io.Reader, labelCol int) (*Dataset, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<20), 1<<24)
+	var rows [][]float64
+	var rawLabels []int
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		lc := labelCol
+		if lc < 0 {
+			lc = len(fields) - 1
+		}
+		if lc >= len(fields) {
+			return nil, fmt.Errorf("dataset: line %d has %d columns, label column %d out of range", lineNo, len(fields), lc)
+		}
+		feats := make([]float64, 0, len(fields)-1)
+		var label int
+		for i, f := range fields {
+			f = strings.TrimSpace(f)
+			if i == lc {
+				v, err := strconv.Atoi(f)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: line %d: bad label %q: %w", lineNo, f, err)
+				}
+				label = v
+				continue
+			}
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: bad feature %q: %w", lineNo, f, err)
+			}
+			feats = append(feats, v)
+		}
+		if len(rows) > 0 && len(feats) != len(rows[0]) {
+			return nil, fmt.Errorf("dataset: line %d has %d features, want %d", lineNo, len(feats), len(rows[0]))
+		}
+		rows = append(rows, feats)
+		rawLabels = append(rawLabels, label)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: read: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: empty CSV input")
+	}
+	// Re-index raw labels densely by ascending value, so already-dense
+	// labels (0..k-1) survive a write/read round trip unchanged.
+	distinct := map[int]bool{}
+	for _, l := range rawLabels {
+		distinct[l] = true
+	}
+	order := make([]int, 0, len(distinct))
+	for l := range distinct {
+		order = append(order, l)
+	}
+	sort.Ints(order)
+	labelMap := make(map[int]int, len(order))
+	for i, l := range order {
+		labelMap[l] = i
+	}
+	labels := make([]int, len(rawLabels))
+	for i, l := range rawLabels {
+		labels[i] = labelMap[l]
+	}
+	d := &Dataset{
+		Name:    "csv",
+		X:       mat.FromRows(rows),
+		Y:       labels,
+		Classes: len(labelMap),
+	}
+	return d, d.Validate()
+}
+
+// WriteCSV emits d in the format ReadCSV accepts, label last.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < d.N(); i++ {
+		row := d.X.Row(i)
+		for _, v := range row {
+			if _, err := fmt.Fprintf(bw, "%g,", v); err != nil {
+				return fmt.Errorf("dataset: write: %w", err)
+			}
+		}
+		if _, err := fmt.Fprintf(bw, "%d\n", d.Y[i]); err != nil {
+			return fmt.Errorf("dataset: write: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+const (
+	idxMagicU8Images = 0x00000803 // 3-dimensional unsigned bytes (images)
+	idxMagicU8Labels = 0x00000801 // 1-dimensional unsigned bytes (labels)
+)
+
+// ReadIDX parses the MNIST IDX pair format: an image file of unsigned bytes
+// (magic 0x803, dims N×H×W) and a label file (magic 0x801, dims N). Pixels
+// are scaled to [0,1]. This lets the real MNIST files drop into the
+// harness unchanged when available.
+func ReadIDX(images, labels io.Reader, classes int) (*Dataset, error) {
+	var hdr [4]uint32
+	if err := binary.Read(images, binary.BigEndian, hdr[:]); err != nil {
+		return nil, fmt.Errorf("dataset: idx image header: %w", err)
+	}
+	if hdr[0] != idxMagicU8Images {
+		return nil, fmt.Errorf("dataset: bad idx image magic 0x%x", hdr[0])
+	}
+	n, h, w := int(hdr[1]), int(hdr[2]), int(hdr[3])
+	pixels := make([]byte, n*h*w)
+	if _, err := io.ReadFull(images, pixels); err != nil {
+		return nil, fmt.Errorf("dataset: idx image payload: %w", err)
+	}
+
+	var lhdr [2]uint32
+	if err := binary.Read(labels, binary.BigEndian, lhdr[:]); err != nil {
+		return nil, fmt.Errorf("dataset: idx label header: %w", err)
+	}
+	if lhdr[0] != idxMagicU8Labels {
+		return nil, fmt.Errorf("dataset: bad idx label magic 0x%x", lhdr[0])
+	}
+	if int(lhdr[1]) != n {
+		return nil, fmt.Errorf("dataset: idx label count %d != image count %d", lhdr[1], n)
+	}
+	lab := make([]byte, n)
+	if _, err := io.ReadFull(labels, lab); err != nil {
+		return nil, fmt.Errorf("dataset: idx label payload: %w", err)
+	}
+
+	d := &Dataset{
+		Name:    "idx",
+		X:       mat.New(n, h*w),
+		Y:       make([]int, n),
+		Classes: classes,
+	}
+	for i := 0; i < n; i++ {
+		row := d.X.Row(i)
+		base := i * h * w
+		for j := 0; j < h*w; j++ {
+			row[j] = float64(pixels[base+j]) / 255
+		}
+		d.Y[i] = int(lab[i])
+	}
+	return d, d.Validate()
+}

@@ -1,0 +1,144 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+func TestReadCSVBasic(t *testing.T) {
+	in := "1.0,2.0,0\n3.0,4.0,1\n5.5,6.5,0\n"
+	d, err := ReadCSV(strings.NewReader(in), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 3 || d.Features() != 2 || d.Classes != 2 {
+		t.Fatalf("shape N=%d q=%d k=%d", d.N(), d.Features(), d.Classes)
+	}
+	if d.X.At(1, 1) != 4.0 || d.Y[1] != 1 {
+		t.Fatal("wrong parsed values")
+	}
+}
+
+func TestReadCSVLabelColumn(t *testing.T) {
+	in := "2,1.5,2.5\n7,3.5,4.5\n"
+	d, err := ReadCSV(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Features() != 2 {
+		t.Fatalf("features = %d, want 2", d.Features())
+	}
+	// labels 2 and 7 re-indexed to 0 and 1
+	if d.Y[0] != 0 || d.Y[1] != 1 || d.Classes != 2 {
+		t.Fatalf("label re-indexing wrong: %v (k=%d)", d.Y, d.Classes)
+	}
+}
+
+func TestReadCSVSkipsCommentsAndBlank(t *testing.T) {
+	in := "# header comment\n\n1,0\n2,1\n"
+	d, err := ReadCSV(strings.NewReader(in), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 2 {
+		t.Fatalf("N = %d, want 2", d.N())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                 // empty
+		"a,b,0\n",          // bad feature
+		"1.0,2.0,x\n",      // bad label
+		"1,2,0\n1,2,3,1\n", // ragged
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in), -1); err == nil {
+			t.Fatalf("case %d: bad CSV accepted", i)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	train, _, err := tinySpec(20).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, train); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != train.N() || back.Features() != train.Features() {
+		t.Fatal("round trip changed shape")
+	}
+	for i := 0; i < back.N(); i++ {
+		if back.Y[i] != train.Y[i] {
+			t.Fatal("round trip changed labels")
+		}
+	}
+}
+
+func writeIDXPair(t *testing.T, n, h, w int, pixels []byte, labels []byte) (img, lab *bytes.Buffer) {
+	t.Helper()
+	img = &bytes.Buffer{}
+	for _, v := range []uint32{idxMagicU8Images, uint32(n), uint32(h), uint32(w)} {
+		if err := binary.Write(img, binary.BigEndian, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	img.Write(pixels)
+	lab = &bytes.Buffer{}
+	for _, v := range []uint32{idxMagicU8Labels, uint32(n)} {
+		if err := binary.Write(lab, binary.BigEndian, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lab.Write(labels)
+	return img, lab
+}
+
+func TestReadIDX(t *testing.T) {
+	img, lab := writeIDXPair(t, 2, 2, 2, []byte{0, 255, 128, 0, 10, 20, 30, 40}, []byte{3, 7})
+	d, err := ReadIDX(img, lab, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 2 || d.Features() != 4 {
+		t.Fatalf("shape N=%d q=%d", d.N(), d.Features())
+	}
+	if d.X.At(0, 1) != 1.0 {
+		t.Fatalf("pixel scaling wrong: %v", d.X.At(0, 1))
+	}
+	if d.Y[0] != 3 || d.Y[1] != 7 {
+		t.Fatal("labels wrong")
+	}
+}
+
+func TestReadIDXBadMagic(t *testing.T) {
+	img, lab := writeIDXPair(t, 1, 1, 1, []byte{9}, []byte{0})
+	img.Bytes()[3] = 0x99 // corrupt magic
+	if _, err := ReadIDX(img, lab, 10); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestReadIDXCountMismatch(t *testing.T) {
+	img, _ := writeIDXPair(t, 2, 1, 1, []byte{1, 2}, nil)
+	_, lab := writeIDXPair(t, 1, 1, 1, []byte{0}, []byte{0})
+	if _, err := ReadIDX(img, lab, 10); err == nil {
+		t.Fatal("count mismatch accepted")
+	}
+}
+
+func TestReadIDXTruncated(t *testing.T) {
+	img, lab := writeIDXPair(t, 2, 2, 2, []byte{1, 2, 3}, []byte{0, 1}) // short pixels
+	if _, err := ReadIDX(img, lab, 10); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}

@@ -1,0 +1,429 @@
+package encoding
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+func randomInput(q int, seed uint64) []float64 {
+	x := make([]float64, q)
+	rng.New(seed).FillNorm(x, 0, 1)
+	return x
+}
+
+func TestRBFShape(t *testing.T) {
+	e := NewRBF(10, 256, 1)
+	if e.Dim() != 256 || e.Features() != 10 {
+		t.Fatalf("Dim=%d Features=%d", e.Dim(), e.Features())
+	}
+}
+
+func TestRBFOutputRange(t *testing.T) {
+	e := NewRBF(8, 512, 2)
+	dst := make([]float64, 512)
+	e.Encode(randomInput(8, 3), dst)
+	for _, v := range dst {
+		// cos(·)·sin(·) is bounded by 1 in magnitude (actually by 1/2 for
+		// equal arguments, but phases differ, so just assert the hard bound).
+		if math.Abs(v) > 1 {
+			t.Fatalf("RBF output %v outside [-1,1]", v)
+		}
+	}
+}
+
+func TestRBFDeterministic(t *testing.T) {
+	x := randomInput(8, 4)
+	a := make([]float64, 128)
+	b := make([]float64, 128)
+	NewRBF(8, 128, 7).Encode(x, a)
+	NewRBF(8, 128, 7).Encode(x, b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-seed RBF encoders differ")
+		}
+	}
+}
+
+func TestRBFSeedsDiffer(t *testing.T) {
+	x := randomInput(8, 4)
+	a := make([]float64, 128)
+	b := make([]float64, 128)
+	NewRBF(8, 128, 1).Encode(x, a)
+	NewRBF(8, 128, 2).Encode(x, b)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different-seed RBF encoders identical")
+	}
+}
+
+// Similar inputs must encode to similar hypervectors and dissimilar inputs
+// to dissimilar ones (the kernel property that makes RBF encoding useful).
+func TestRBFLocality(t *testing.T) {
+	e := NewRBF(16, 2048, 5)
+	x := randomInput(16, 6)
+	near := make([]float64, 16)
+	copy(near, x)
+	for i := range near {
+		near[i] += 0.01
+	}
+	far := randomInput(16, 99)
+
+	hx := make([]float64, e.Dim())
+	hn := make([]float64, e.Dim())
+	hf := make([]float64, e.Dim())
+	e.Encode(x, hx)
+	e.Encode(near, hn)
+	e.Encode(far, hf)
+
+	simNear := mat.CosineSim(hx, hn)
+	simFar := mat.CosineSim(hx, hf)
+	if simNear < 0.9 {
+		t.Fatalf("nearby inputs encode too differently: cos=%v", simNear)
+	}
+	if simFar > simNear-0.2 {
+		t.Fatalf("far input not separated: near=%v far=%v", simNear, simFar)
+	}
+}
+
+func TestRBFEncodeBatchMatchesSingle(t *testing.T) {
+	e := NewRBF(6, 64, 8)
+	X := mat.New(5, 6)
+	rng.New(9).FillNorm(X.Data, 0, 1)
+	batch := e.EncodeBatch(X)
+	single := make([]float64, 64)
+	for i := 0; i < 5; i++ {
+		e.Encode(X.Row(i), single)
+		for j := range single {
+			if batch.At(i, j) != single[j] {
+				t.Fatalf("batch row %d differs from single encode", i)
+			}
+		}
+	}
+}
+
+func TestRBFRegenerateChangesOnlyListedDims(t *testing.T) {
+	e := NewRBF(6, 64, 10)
+	x := randomInput(6, 11)
+	before := make([]float64, 64)
+	e.Encode(x, before)
+
+	dims := []int{3, 17, 40}
+	e.Regenerate(dims)
+	after := make([]float64, 64)
+	e.Encode(x, after)
+
+	changed := map[int]bool{}
+	for _, d := range dims {
+		changed[d] = true
+	}
+	for i := range after {
+		if changed[i] {
+			if after[i] == before[i] {
+				t.Fatalf("dim %d should have changed after regeneration", i)
+			}
+		} else if after[i] != before[i] {
+			t.Fatalf("dim %d changed but was not regenerated", i)
+		}
+	}
+}
+
+func TestRBFRegenerateOutOfRangePanics(t *testing.T) {
+	e := NewRBF(4, 16, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Regenerate did not panic")
+		}
+	}()
+	e.Regenerate([]int{16})
+}
+
+func TestRBFRegenerateAdvancesStream(t *testing.T) {
+	// Regenerating the same dim twice must give different bases both times.
+	e := NewRBF(4, 16, 2)
+	first := make([]float64, 4)
+	copy(first, e.BaseRow(5))
+	e.Regenerate([]int{5})
+	second := make([]float64, 4)
+	copy(second, e.BaseRow(5))
+	e.Regenerate([]int{5})
+	third := e.BaseRow(5)
+	same12, same23 := true, true
+	for i := range first {
+		if first[i] != second[i] {
+			same12 = false
+		}
+		if second[i] != third[i] {
+			same23 = false
+		}
+	}
+	if same12 || same23 {
+		t.Fatal("regeneration did not redraw the base vector")
+	}
+}
+
+func TestLinearBipolarOutput(t *testing.T) {
+	e := NewLinear(8, 128, true, 3)
+	dst := make([]float64, 128)
+	e.Encode(randomInput(8, 4), dst)
+	for _, v := range dst {
+		if v != 1 && v != -1 {
+			t.Fatalf("bipolar Linear emitted %v", v)
+		}
+	}
+}
+
+func TestLinearRealOutput(t *testing.T) {
+	e := NewLinear(8, 128, false, 3)
+	dst := make([]float64, 128)
+	e.Encode(randomInput(8, 4), dst)
+	nonBipolar := false
+	for _, v := range dst {
+		if v != 1 && v != -1 {
+			nonBipolar = true
+		}
+	}
+	if !nonBipolar {
+		t.Fatal("real-valued Linear produced only ±1, suspicious")
+	}
+}
+
+func TestLinearRegenerate(t *testing.T) {
+	e := NewLinear(8, 64, false, 5)
+	x := randomInput(8, 6)
+	before := make([]float64, 64)
+	e.Encode(x, before)
+	e.Regenerate([]int{0, 63})
+	after := make([]float64, 64)
+	e.Encode(x, after)
+	if after[0] == before[0] || after[63] == before[63] {
+		t.Fatal("regenerated dims unchanged")
+	}
+	for i := 1; i < 63; i++ {
+		if after[i] != before[i] {
+			t.Fatalf("untouched dim %d changed", i)
+		}
+	}
+}
+
+func TestIDLevelShape(t *testing.T) {
+	e := NewIDLevel(10, 256, 16, -3, 3, 1)
+	if e.Dim() != 256 || e.Features() != 10 || e.Levels() != 16 {
+		t.Fatalf("Dim=%d Features=%d Levels=%d", e.Dim(), e.Features(), e.Levels())
+	}
+}
+
+func TestIDLevelQuantization(t *testing.T) {
+	e := NewIDLevel(2, 64, 10, 0, 1, 2)
+	if e.Level(-5) != 0 {
+		t.Fatal("below-range value should clamp to level 0")
+	}
+	if e.Level(5) != 9 {
+		t.Fatal("above-range value should clamp to top level")
+	}
+	if e.Level(0.55) != 5 {
+		t.Fatalf("Level(0.55) = %d, want 5", e.Level(0.55))
+	}
+}
+
+func TestIDLevelAdjacentLevelsSimilar(t *testing.T) {
+	e := NewIDLevel(2, 4096, 16, -3, 3, 3)
+	adj := mat.CosineSim(e.levels.Row(0), e.levels.Row(1))
+	farSim := mat.CosineSim(e.levels.Row(0), e.levels.Row(15))
+	if adj < 0.8 {
+		t.Fatalf("adjacent levels dissimilar: cos=%v", adj)
+	}
+	if farSim > 0.3 {
+		t.Fatalf("extreme levels too similar: cos=%v", farSim)
+	}
+}
+
+func TestIDLevelLocality(t *testing.T) {
+	e := NewIDLevel(16, 4096, 32, -3, 3, 4)
+	x := randomInput(16, 5)
+	near := make([]float64, 16)
+	copy(near, x)
+	near[0] += 0.05
+	far := randomInput(16, 77)
+	hx := make([]float64, e.Dim())
+	hn := make([]float64, e.Dim())
+	hf := make([]float64, e.Dim())
+	e.Encode(x, hx)
+	e.Encode(near, hn)
+	e.Encode(far, hf)
+	simNear := mat.CosineSim(hx, hn)
+	simFar := mat.CosineSim(hx, hf)
+	if simNear < 0.9 {
+		t.Fatalf("tiny perturbation changed encoding too much: cos=%v", simNear)
+	}
+	// Level vectors vary smoothly, so unrelated inputs remain moderately
+	// similar by construction; what matters is the ordering with margin.
+	if simFar > simNear-0.1 {
+		t.Fatalf("unrelated input not separated: near=%v far=%v", simNear, simFar)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	cases := []func(){
+		func() { NewRBF(0, 10, 1) },
+		func() { NewRBF(10, 0, 1) },
+		func() { NewLinear(0, 10, false, 1) },
+		func() { NewIDLevel(0, 10, 4, 0, 1, 1) },
+		func() { NewIDLevel(2, 10, 1, 0, 1, 1) },
+		func() { NewIDLevel(2, 10, 4, 1, 0, 1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: invalid constructor did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEncodeBatchWrongWidthPanics(t *testing.T) {
+	e := NewRBF(4, 16, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-width batch did not panic")
+		}
+	}()
+	e.EncodeBatch(mat.New(2, 5))
+}
+
+// Property: regeneration leaves all non-listed dimensions bit-identical,
+// for arbitrary seeds and dim choices.
+func TestRegenerationIsolationProperty(t *testing.T) {
+	f := func(seed uint64, rawDim uint8) bool {
+		const D = 32
+		d := int(rawDim) % D
+		e := NewRBF(4, D, seed)
+		x := randomInput(4, seed^0xabc)
+		before := make([]float64, D)
+		e.Encode(x, before)
+		e.Regenerate([]int{d})
+		after := make([]float64, D)
+		e.Encode(x, after)
+		for i := range after {
+			if i != d && after[i] != before[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRBFEncode784x2048(b *testing.B) {
+	e := NewRBF(784, 2048, 1)
+	x := randomInput(784, 2)
+	dst := make([]float64, 2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Encode(x, dst)
+	}
+}
+
+func TestRBFParamsRoundTrip(t *testing.T) {
+	e := NewRBF(6, 32, 44)
+	x := randomInput(6, 45)
+	want := make([]float64, 32)
+	e.Encode(x, want)
+
+	base, phase, sigma := e.Params()
+	re, err := NewRBFFromParams(base, phase, sigma, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, 32)
+	re.Encode(x, got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("reconstructed encoder differs from original")
+		}
+	}
+	// Reconstructed encoder must be independent of the original's storage.
+	re.Regenerate([]int{0})
+	orig := make([]float64, 32)
+	e.Encode(x, orig)
+	if orig[0] != want[0] {
+		t.Fatal("NewRBFFromParams aliased the original base matrix")
+	}
+}
+
+func TestNewRBFFromParamsValidation(t *testing.T) {
+	e := NewRBF(4, 8, 1)
+	base, phase, _ := e.Params()
+	if _, err := NewRBFFromParams(base, phase, 0, 1); err == nil {
+		t.Fatal("zero sigma accepted")
+	}
+	if _, err := NewRBFFromParams(base, phase[:4], 0.5, 1); err == nil {
+		t.Fatal("phase length mismatch accepted")
+	}
+	if _, err := NewRBFFromParams(nil, phase, 0.5, 1); err == nil {
+		t.Fatal("nil base accepted")
+	}
+}
+
+func TestEncodeDimsMatchesEncode(t *testing.T) {
+	for _, mk := range []func() Regenerable{
+		func() Regenerable { return NewRBF(5, 24, 3) },
+		func() Regenerable { return NewLinear(5, 24, true, 3) },
+		func() Regenerable { return NewLinear(5, 24, false, 3) },
+	} {
+		e := mk()
+		x := randomInput(5, 9)
+		full := make([]float64, 24)
+		e.Encode(x, full)
+		dims := []int{0, 7, 23, 11}
+		part := make([]float64, len(dims))
+		e.EncodeDims(x, dims, part)
+		for j, d := range dims {
+			if part[j] != full[d] {
+				t.Fatalf("EncodeDims[%d] = %v, Encode[%d] = %v", j, part[j], d, full[d])
+			}
+		}
+	}
+}
+
+func TestEncodeDimsSizeMismatchPanics(t *testing.T) {
+	e := NewRBF(4, 8, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EncodeDims size mismatch did not panic")
+		}
+	}()
+	e.EncodeDims(make([]float64, 4), []int{1, 2}, make([]float64, 3))
+}
+
+func TestEncodeSizeMismatchPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewRBF(4, 8, 1).Encode(make([]float64, 3), make([]float64, 8)) },
+		func() { NewLinear(4, 8, false, 1).Encode(make([]float64, 4), make([]float64, 7)) },
+		func() { NewIDLevel(4, 8, 4, 0, 1, 1).Encode(make([]float64, 5), make([]float64, 8)) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: size mismatch did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

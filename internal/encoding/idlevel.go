@@ -1,0 +1,110 @@
+package encoding
+
+import (
+	"fmt"
+
+	"repro/internal/hv"
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+// IDLevel is the record-based HDC encoder: each feature gets a random
+// bipolar identity hypervector, each quantization level gets a level
+// hypervector built by progressively flipping bits of a base level vector
+// (so nearby levels stay similar), and a sample is encoded as
+//
+//	H = Σ_f  ID_f ⊛ Level(quantize(x_f))
+//
+// where ⊛ is element-wise binding. It is a static encoder (dimension
+// regeneration is meaningless for it, since per-dimension information is
+// distributed by the binding) and is included as an alternative substrate
+// for the examples and static-encoder comparisons.
+type IDLevel struct {
+	ids    *mat.Dense // q × D feature identities (bipolar)
+	levels *mat.Dense // L × D level hypervectors (bipolar)
+	lo, hi float64    // quantization range
+}
+
+// NewIDLevel builds an ID×Level encoder for q features, dimension d, and
+// L quantization levels over the value range [lo, hi]. Values outside the
+// range clamp to the extreme levels.
+func NewIDLevel(q, d, levels int, lo, hi float64, seed uint64) *IDLevel {
+	if q <= 0 || d <= 0 || levels < 2 {
+		panic(fmt.Sprintf("encoding: NewIDLevel(q=%d, d=%d, levels=%d) invalid", q, d, levels))
+	}
+	if hi <= lo {
+		panic("encoding: NewIDLevel requires hi > lo")
+	}
+	r := rng.New(seed)
+	e := &IDLevel{
+		ids:    mat.New(q, d),
+		levels: mat.New(levels, d),
+		lo:     lo,
+		hi:     hi,
+	}
+	for f := 0; f < q; f++ {
+		copy(e.ids.Row(f), hv.RandomBipolar(d, r))
+	}
+	// Level 0 is random; each subsequent level flips a fresh d/(2(L-1))
+	// block so Level(0) and Level(L-1) are near-orthogonal while adjacent
+	// levels stay highly similar — the standard level-hypervector scheme.
+	copy(e.levels.Row(0), hv.RandomBipolar(d, r))
+	flipPer := d / (2 * (levels - 1))
+	perm := r.Perm(d)
+	next := 0
+	for l := 1; l < levels; l++ {
+		copy(e.levels.Row(l), e.levels.Row(l-1))
+		row := e.levels.Row(l)
+		for i := 0; i < flipPer && next < d; i++ {
+			row[perm[next]] *= -1
+			next++
+		}
+	}
+	return e
+}
+
+// Dim returns the hypervector dimensionality.
+func (e *IDLevel) Dim() int { return e.ids.Cols }
+
+// Features returns the expected input width.
+func (e *IDLevel) Features() int { return e.ids.Rows }
+
+// Levels returns the number of quantization levels.
+func (e *IDLevel) Levels() int { return e.levels.Rows }
+
+// Level quantizes a scalar into a level index, clamping to the range.
+func (e *IDLevel) Level(v float64) int {
+	if v <= e.lo {
+		return 0
+	}
+	if v >= e.hi {
+		return e.Levels() - 1
+	}
+	l := int(float64(e.Levels()) * (v - e.lo) / (e.hi - e.lo))
+	if l >= e.Levels() {
+		l = e.Levels() - 1
+	}
+	return l
+}
+
+// Encode writes the bound-and-bundled record hypervector of x into dst.
+func (e *IDLevel) Encode(x, dst []float64) {
+	if len(x) != e.Features() || len(dst) != e.Dim() {
+		panic("encoding: IDLevel.Encode size mismatch")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for f, v := range x {
+		id := e.ids.Row(f)
+		lvl := e.levels.Row(e.Level(v))
+		for i := range dst {
+			dst[i] += id[i] * lvl[i]
+		}
+	}
+}
+
+// EncodeBatch encodes every row of X in parallel.
+func (e *IDLevel) EncodeBatch(X *mat.Dense) *mat.Dense { return batchEncode(e, X) }
+
+var _ Encoder = (*IDLevel)(nil)

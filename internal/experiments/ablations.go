@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/encoding"
+)
+
+// trainDistHDOn trains a DistHD classifier on one dataset with the given
+// config mutations applied on top of the harness defaults.
+func trainDistHDOn(o Options, p datasetPair, d int, mutate func(*core.Config)) (*core.Classifier, *core.TrainStats, error) {
+	cfg := core.DefaultConfig()
+	cfg.Dim = d
+	cfg.Iterations = hdcIterations(o)
+	cfg.Seed = o.Seed
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	enc := encoding.NewRBF(p.Train.Features(), d, o.Seed^0xab1)
+	return core.Train(enc, p.Train.X, p.Train.Y, p.Train.Classes, cfg)
+}
+
+// AblationA2Result compares the prose and literal readings of Algorithm 2
+// (see DESIGN.md §1) across all datasets.
+type AblationA2Result struct {
+	Datasets             []string
+	ProseAcc, LiteralAcc []float64
+}
+
+// RunAblationA2 regenerates the Algorithm-2 discrepancy study.
+func RunAblationA2(o Options) (*AblationA2Result, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	pairs, err := loadAll(o)
+	if err != nil {
+		return nil, err
+	}
+	lowD, _ := comparisonDims(o)
+	res := &AblationA2Result{}
+	for _, p := range pairs {
+		res.Datasets = append(res.Datasets, p.Name)
+		prose, _, err := trainDistHDOn(o, p, lowD, nil)
+		if err != nil {
+			return nil, err
+		}
+		res.ProseAcc = append(res.ProseAcc, prose.Accuracy(p.Test.X, p.Test.Y))
+
+		literal, _, err := trainDistHDOn(o, p, lowD, func(c *core.Config) {
+			c.UseLiteralAlgorithm2 = true
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.LiteralAcc = append(res.LiteralAcc, literal.Accuracy(p.Test.X, p.Test.Y))
+	}
+	return res, nil
+}
+
+// Render prints the comparison.
+func (r *AblationA2Result) Render(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Ablation: Algorithm 2 prose formula vs literal pseudocode (incorrect-bucket scoring)"); err != nil {
+		return err
+	}
+	t := newTable("Dataset", "Prose (default)", "Literal line 11")
+	var dp, dl float64
+	for i, ds := range r.Datasets {
+		t.addf("%s\t%s\t%s", ds, pct(r.ProseAcc[i]), pct(r.LiteralAcc[i]))
+		dp += r.ProseAcc[i]
+		dl += r.LiteralAcc[i]
+	}
+	n := float64(len(r.Datasets))
+	t.addf("Mean\t%s\t%s", pct(dp/n), pct(dl/n))
+	return t.render(w)
+}
+
+// AblationRegenResult sweeps the regeneration rate R.
+type AblationRegenResult struct {
+	Dataset string
+	Rates   []float64
+	Accs    []float64
+	// EffectiveDims records D* = D + total regenerated at each rate.
+	EffectiveDims []int
+}
+
+// RunAblationRegen sweeps R on the UCIHAR stand-in.
+func RunAblationRegen(o Options) (*AblationRegenResult, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	p, err := loadOne(o, "UCIHAR")
+	if err != nil {
+		return nil, err
+	}
+	lowD, _ := comparisonDims(o)
+	res := &AblationRegenResult{Dataset: p.Name, Rates: []float64{0, 0.02, 0.05, 0.10, 0.20}}
+	for _, rate := range res.Rates {
+		clf, stats, err := trainDistHDOn(o, p, lowD, func(c *core.Config) { c.RegenRate = rate })
+		if err != nil {
+			return nil, err
+		}
+		res.Accs = append(res.Accs, clf.Accuracy(p.Test.X, p.Test.Y))
+		res.EffectiveDims = append(res.EffectiveDims, stats.EffectiveDim)
+	}
+	return res, nil
+}
+
+// Render prints the sweep.
+func (r *AblationRegenResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Ablation: regeneration rate R sweep on %s\n", r.Dataset); err != nil {
+		return err
+	}
+	t := newTable("R", "Accuracy", "Effective D*")
+	for i, rate := range r.Rates {
+		t.addf("%.0f%%\t%s\t%d", 100*rate, pct(r.Accs[i]), r.EffectiveDims[i])
+	}
+	return t.render(w)
+}
+
+// AblationEncoderResult compares the RBF encoder against the linear
+// random-projection encoder under the full DistHD loop.
+type AblationEncoderResult struct {
+	Datasets          []string
+	RBFAcc, LinearAcc []float64
+}
+
+// RunAblationEncoder regenerates the encoder-family comparison.
+func RunAblationEncoder(o Options) (*AblationEncoderResult, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	pairs, err := loadAll(o)
+	if err != nil {
+		return nil, err
+	}
+	lowD, _ := comparisonDims(o)
+	iters := hdcIterations(o)
+	res := &AblationEncoderResult{}
+	for _, p := range pairs {
+		res.Datasets = append(res.Datasets, p.Name)
+
+		cfg := core.DefaultConfig()
+		cfg.Dim = lowD
+		cfg.Iterations = iters
+		cfg.Seed = o.Seed
+
+		rbf := encoding.NewRBF(p.Train.Features(), lowD, o.Seed^0xe1)
+		rclf, _, err := core.Train(rbf, p.Train.X, p.Train.Y, p.Train.Classes, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.RBFAcc = append(res.RBFAcc, rclf.Accuracy(p.Test.X, p.Test.Y))
+
+		lin := encoding.NewLinear(p.Train.Features(), lowD, false, o.Seed^0xe2)
+		lclf, _, err := core.Train(lin, p.Train.X, p.Train.Y, p.Train.Classes, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.LinearAcc = append(res.LinearAcc, lclf.Accuracy(p.Test.X, p.Test.Y))
+	}
+	return res, nil
+}
+
+// Render prints the comparison.
+func (r *AblationEncoderResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Ablation: RBF (paper) vs linear random-projection encoder under DistHD"); err != nil {
+		return err
+	}
+	t := newTable("Dataset", "RBF encoder", "Linear encoder")
+	var sr, sl float64
+	for i, ds := range r.Datasets {
+		t.addf("%s\t%s\t%s", ds, pct(r.RBFAcc[i]), pct(r.LinearAcc[i]))
+		sr += r.RBFAcc[i]
+		sl += r.LinearAcc[i]
+	}
+	n := float64(len(r.Datasets))
+	t.addf("Mean\t%s\t%s", pct(sr/n), pct(sl/n))
+	return t.render(w)
+}

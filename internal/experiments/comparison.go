@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/metrics"
+)
+
+// LearnerResult holds one learner's outcome on one dataset.
+type LearnerResult struct {
+	Learner   string
+	Dataset   string
+	Accuracy  float64
+	TrainSecs float64
+	// InferSecs is the wall-clock time to classify the full test split.
+	InferSecs float64
+	TestSize  int
+}
+
+// ComparisonResult backs both Fig. 4 (accuracy) and Fig. 5 (efficiency):
+// the six learners of the paper's headline comparison, trained once per
+// dataset with both accuracy and timing recorded.
+type ComparisonResult struct {
+	Datasets []string
+	Learners []string
+	// ByKey maps learner+"/"+dataset to the result.
+	ByKey map[string]*LearnerResult
+}
+
+// key builds the lookup key for ByKey.
+func key(learner, ds string) string { return learner + "/" + ds }
+
+// Get returns the result for a learner/dataset pair, or nil.
+func (r *ComparisonResult) Get(learner, ds string) *LearnerResult {
+	return r.ByKey[key(learner, ds)]
+}
+
+// MeanAccuracy averages a learner's accuracy across all datasets.
+func (r *ComparisonResult) MeanAccuracy(learner string) float64 {
+	var sum float64
+	var n int
+	for _, ds := range r.Datasets {
+		if lr := r.Get(learner, ds); lr != nil {
+			sum += lr.Accuracy
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// speedup returns the geometric-mean ratio base/target of the chosen
+// phase's time across datasets — "target is X× faster than base".
+func (r *ComparisonResult) speedup(base, target string, infer bool) float64 {
+	var num, den []float64
+	for _, ds := range r.Datasets {
+		b, t := r.Get(base, ds), r.Get(target, ds)
+		if b == nil || t == nil {
+			continue
+		}
+		if infer {
+			num = append(num, b.InferSecs)
+			den = append(den, t.InferSecs)
+		} else {
+			num = append(num, b.TrainSecs)
+			den = append(den, t.TrainSecs)
+		}
+	}
+	return geoMeanRatio(num, den)
+}
+
+// RunComparison trains the paper's six learners on every dataset, timing
+// training and inference. This single run backs fig4 and fig5.
+func RunComparison(o Options) (*ComparisonResult, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	pairs, err := loadAll(o)
+	if err != nil {
+		return nil, err
+	}
+	lowD, highD := comparisonDims(o)
+
+	res := &ComparisonResult{ByKey: map[string]*LearnerResult{}}
+	for _, p := range pairs {
+		res.Datasets = append(res.Datasets, p.Name)
+	}
+
+	// Construct fresh learners per dataset (they keep trained state).
+	mkLearners := func() []Learner {
+		return []Learner{
+			newDNN(o),
+			newSVM(o),
+			newBaselineHD(o, lowD),
+			newBaselineHD(o, highD),
+			newNeuralHD(o, lowD),
+			newDistHD(o, lowD),
+		}
+	}
+	for _, l := range mkLearners() {
+		res.Learners = append(res.Learners, l.Name())
+	}
+
+	for _, p := range pairs {
+		for _, l := range mkLearners() {
+			lr := &LearnerResult{Learner: l.Name(), Dataset: p.Name, TestSize: p.Test.N()}
+			var trainErr error
+			lr.TrainSecs = timeIt(func() { trainErr = l.Train(p.Train) })
+			if trainErr != nil {
+				return nil, fmt.Errorf("%s on %s: %w", l.Name(), p.Name, trainErr)
+			}
+			var pred []int
+			lr.InferSecs = timeIt(func() { pred = l.Predict(p.Test.X) })
+			acc, err := metrics.Accuracy(pred, p.Test.Y)
+			if err != nil {
+				return nil, err
+			}
+			lr.Accuracy = acc
+			res.ByKey[key(l.Name(), p.Name)] = lr
+		}
+	}
+	return res, nil
+}
+
+// RenderFig4 prints the accuracy comparison (paper Fig. 4) plus the
+// aggregate deltas the paper headlines.
+func (r *ComparisonResult) RenderFig4(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Fig. 4: Classification accuracy of DistHD vs. state-of-the-art learning algorithms"); err != nil {
+		return err
+	}
+	t := newTable(append([]string{"Learner"}, append(r.Datasets, "Mean")...)...)
+	for _, l := range r.Learners {
+		cells := []string{l}
+		for _, ds := range r.Datasets {
+			cells = append(cells, pct(r.Get(l, ds).Accuracy))
+		}
+		cells = append(cells, pct(r.MeanAccuracy(l)))
+		t.add(cells...)
+	}
+	if err := t.render(w); err != nil {
+		return err
+	}
+
+	dist := r.Learners[5]
+	deltas := []struct{ vs, label string }{
+		{r.Learners[2], "baselineHD (low D)"},
+		{r.Learners[3], "baselineHD (high D*)"},
+		{r.Learners[4], "NeuralHD (low D)"},
+		{r.Learners[1], "SVM"},
+		{r.Learners[0], "DNN"},
+	}
+	for _, d := range deltas {
+		diff := 100 * (r.MeanAccuracy(dist) - r.MeanAccuracy(d.vs))
+		if _, err := fmt.Fprintf(w, "DistHD vs %-22s %+.2f%% mean accuracy\n", d.label+":", diff); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderFig5 prints the efficiency comparison (paper Fig. 5) plus the
+// aggregate speedups the paper headlines.
+func (r *ComparisonResult) RenderFig5(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Fig. 5: Training time and inference latency of DistHD vs. state-of-the-art learning algorithms"); err != nil {
+		return err
+	}
+	// Fig. 5 compares the iso-accuracy configurations: DNN, SVM,
+	// baselineHD at its high effective dimensionality, NeuralHD and DistHD
+	// at the compressed dimensionality.
+	learners := []string{r.Learners[0], r.Learners[1], r.Learners[3], r.Learners[4], r.Learners[5]}
+
+	t := newTable(append([]string{"Training time"}, r.Datasets...)...)
+	for _, l := range learners {
+		cells := []string{l}
+		for _, ds := range r.Datasets {
+			cells = append(cells, secs(r.Get(l, ds).TrainSecs))
+		}
+		t.add(cells...)
+	}
+	if err := t.render(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+
+	t2 := newTable(append([]string{"Inference latency"}, r.Datasets...)...)
+	for _, l := range learners {
+		cells := []string{l}
+		for _, ds := range r.Datasets {
+			cells = append(cells, secs(r.Get(l, ds).InferSecs))
+		}
+		t2.add(cells...)
+	}
+	if err := t2.render(w); err != nil {
+		return err
+	}
+
+	dist := r.Learners[5]
+	lines := []struct {
+		base  string
+		infer bool
+		label string
+	}{
+		{r.Learners[0], false, "training speedup vs DNN"},
+		{r.Learners[3], false, "training speedup vs baselineHD (high D*)"},
+		{r.Learners[4], false, "training speedup vs NeuralHD"},
+		{r.Learners[3], true, "inference speedup vs baselineHD (high D*)"},
+		{r.Learners[1], true, "inference speedup vs SVM"},
+	}
+	for _, ln := range lines {
+		if _, err := fmt.Fprintf(w, "DistHD %-42s %.2fx\n", ln.label+":", r.speedup(ln.base, dist, ln.infer)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

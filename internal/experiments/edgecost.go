@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cost"
+	"repro/internal/dataset"
+)
+
+// EdgeCostResult is an extension experiment (not a paper artifact): the
+// analytical per-inference cost of each learner configuration from the
+// Fig. 4/5 comparison, using the first-order edge-hardware model of
+// internal/cost. It quantifies the §I motivation — why an 8× dimension
+// reduction matters on a power-limited device.
+type EdgeCostResult struct {
+	Dataset  string
+	Profiles []cost.Profile
+}
+
+// RunEdgeCost profiles the comparison configurations on the UCIHAR shapes.
+func RunEdgeCost(o Options) (*EdgeCostResult, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	spec, err := dataset.SpecByName("UCIHAR", o.Scale, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	q, k := spec.Features, spec.Classes
+	lowD, highD := comparisonDims(o)
+
+	dnn, err := cost.MLP("DNN (128 hidden)", []int{q, 128, k})
+	if err != nil {
+		return nil, err
+	}
+	res := &EdgeCostResult{
+		Dataset: spec.Name,
+		Profiles: []cost.Profile{
+			dnn,
+			cost.SVMRFF("SVM (RFF 1024)", q, 1024, k),
+			cost.HDCFloat(fmt.Sprintf("BaselineHD float (D=%s)", dimLabel(highD)), q, highD, k),
+			cost.HDCFloat(fmt.Sprintf("DistHD float (D=%s)", dimLabel(lowD)), q, lowD, k),
+			cost.HDCBinary(fmt.Sprintf("DistHD 1-bit (D=%s)", dimLabel(lowD)), q, lowD, k),
+			cost.HDCBinary(fmt.Sprintf("DistHD 1-bit (D=%s)", dimLabel(highD)), q, highD, k),
+		},
+	}
+	return res, nil
+}
+
+// Render prints the cost table.
+func (r *EdgeCostResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Edge-cost extension: analytical per-inference cost on %s shapes (45nm first-order model)\n", r.Dataset); err != nil {
+		return err
+	}
+	t := newTable("Configuration", "MACs", "BitOps", "Model KiB", "On-chip", "Energy/inf")
+	for _, p := range r.Profiles {
+		fits := "DRAM"
+		if p.FitsSRAM {
+			fits = "SRAM"
+		}
+		t.addf("%s\t%d\t%d\t%.1f\t%s\t%.2f uJ",
+			p.Name, p.MACs, p.BitOps, float64(p.ModelBytes)/1024, fits, p.EnergyUJ())
+	}
+	if err := t.render(w); err != nil {
+		return err
+	}
+	// headline ratio: float low-D vs float high-D energy
+	lo := r.Profiles[3].EnergyPJ
+	hi := r.Profiles[2].EnergyPJ
+	if lo > 0 {
+		_, err := fmt.Fprintf(w, "dimension reduction pays %.1fx lower inference energy (float, low vs high D)\n", hi/lo)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/baselinehd"
+	"repro/internal/encoding"
+	"repro/internal/model"
+)
+
+// Fig2aResult backs Fig. 2(a): a static-encoder HDC needs very high
+// dimensionality to approach DNN accuracy, and its accuracy climbs slowly
+// with training iterations.
+type Fig2aResult struct {
+	Dataset string
+	// DimSweep maps swept dimensionality to static-HDC test accuracy.
+	Dims    []int
+	DimAccs []float64
+	// Iters lists the swept training-iteration budgets; IterAccs[i] is
+	// static-HDC test accuracy with budget Iters[i] at the lowest swept
+	// dimensionality.
+	Iters    []int
+	IterAccs []float64
+	// DNN reference point.
+	DNNAcc       float64
+	DNNTrainSecs float64
+}
+
+// RunFig2a reproduces the motivation experiment on the UCIHAR stand-in.
+func RunFig2a(o Options) (*Fig2aResult, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	p, err := loadOne(o, "UCIHAR")
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig2aResult{Dataset: p.Name}
+	if o.Quick {
+		res.Dims = []int{128, 256, 512}
+	} else {
+		res.Dims = []int{512, 1024, 2048, 4096, 6144}
+	}
+
+	for _, d := range res.Dims {
+		clf, err := baselinehd.Train(p.Train.X, p.Train.Y, p.Train.Classes,
+			baselinehd.Config{Dim: d, Epochs: hdcIterations(o), Seed: o.Seed})
+		if err != nil {
+			return nil, err
+		}
+		res.DimAccs = append(res.DimAccs, clf.Accuracy(p.Test.X, p.Test.Y))
+	}
+
+	// Accuracy vs iterations at the smallest dimensionality: retrain with
+	// increasing epoch budgets. (baselineHD trains destructively, so each
+	// budget is a fresh run; runs share the deterministic seed.)
+	res.Iters = []int{1, 2, 5, 10, 20, 30, 40, 50}
+	if o.Quick {
+		res.Iters = []int{1, 2, 4, 8}
+	}
+	for _, it := range res.Iters {
+		clf, err := baselinehd.Train(p.Train.X, p.Train.Y, p.Train.Classes,
+			baselinehd.Config{Dim: res.Dims[0], Epochs: it, Seed: o.Seed})
+		if err != nil {
+			return nil, err
+		}
+		res.IterAccs = append(res.IterAccs, clf.Accuracy(p.Test.X, p.Test.Y))
+	}
+
+	dnn := newDNN(o)
+	res.DNNTrainSecs = timeIt(func() { err = dnn.Train(p.Train) })
+	if err != nil {
+		return nil, err
+	}
+	pred := dnn.Predict(p.Test.X)
+	correct := 0
+	for i, pr := range pred {
+		if pr == p.Test.Y[i] {
+			correct++
+		}
+	}
+	res.DNNAcc = float64(correct) / float64(len(pred))
+	return res, nil
+}
+
+// Render prints both panels of Fig. 2(a).
+func (r *Fig2aResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Fig. 2(a): static-encoder HDC vs DNN on %s\n", r.Dataset); err != nil {
+		return err
+	}
+	t := newTable("Dimensions", "Static-HDC accuracy")
+	for i, d := range r.Dims {
+		t.addf("%s\t%s", dimLabel(d), pct(r.DimAccs[i]))
+	}
+	if err := t.render(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "DNN reference: %s accuracy, trained in %s\n\n",
+		pct(r.DNNAcc), secs(r.DNNTrainSecs)); err != nil {
+		return err
+	}
+	t2 := newTable("Iteration budget", "Static-HDC accuracy (lowest D)")
+	for i, acc := range r.IterAccs {
+		t2.addf("%d\t%s", r.Iters[i], pct(acc))
+	}
+	return t2.render(w)
+}
+
+// Fig2bResult backs Fig. 2(b): top-2 accuracy of a static HDC classifier is
+// far above top-1, and top-3 adds little over top-2 — the observation that
+// motivates DistHD's top-2 classification.
+type Fig2bResult struct {
+	Dataset string
+	// Iterations[i] labels row i; TopK[k-1][i] is top-k accuracy there.
+	Iterations       []int
+	Top1, Top2, Top3 []float64
+}
+
+// RunFig2b trains the adaptive HDC model at low dimensionality and records
+// top-1/2/3 accuracy as training progresses.
+func RunFig2b(o Options) (*Fig2bResult, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	p, err := loadOne(o, "ISOLET")
+	if err != nil {
+		return nil, err
+	}
+	d := 512
+	checkpoints := []int{1, 2, 5, 10, 20, 30, 40, 50}
+	if o.Quick {
+		d = 128
+		checkpoints = []int{1, 2, 4, 8}
+	}
+
+	enc := encoding.NewRBF(p.Train.Features(), d, o.Seed^0x2b)
+	Htrain := enc.EncodeBatch(p.Train.X)
+	Htest := enc.EncodeBatch(p.Test.X)
+	m := model.New(p.Train.Classes, d)
+
+	res := &Fig2bResult{Dataset: p.Name, Iterations: checkpoints}
+	done := 0
+	for _, cp := range checkpoints {
+		// Continue training from the previous checkpoint.
+		cfg := model.TrainConfig{
+			LearningRate: 0.05,
+			Epochs:       cp - done,
+			Seed:         o.Seed ^ uint64(cp),
+		}
+		if cfg.Epochs > 0 {
+			if _, err := model.Fit(m, Htrain, p.Train.Y, cfg); err != nil {
+				return nil, err
+			}
+			done = cp
+		}
+		res.Top1 = append(res.Top1, model.TopKAccuracy(m, Htest, p.Test.Y, 1))
+		res.Top2 = append(res.Top2, model.TopKAccuracy(m, Htest, p.Test.Y, 2))
+		res.Top3 = append(res.Top3, model.TopKAccuracy(m, Htest, p.Test.Y, 3))
+	}
+	return res, nil
+}
+
+// Render prints the top-k accuracy trajectories.
+func (r *Fig2bResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Fig. 2(b): top-1/2/3 accuracy of static-encoder HDC on %s\n", r.Dataset); err != nil {
+		return err
+	}
+	t := newTable("Iterations", "Top-1", "Top-2", "Top-3")
+	for i, it := range r.Iterations {
+		t.addf("%d\t%s\t%s\t%s", it, pct(r.Top1[i]), pct(r.Top2[i]), pct(r.Top3[i]))
+	}
+	if err := t.render(w); err != nil {
+		return err
+	}
+	last := len(r.Iterations) - 1
+	_, err := fmt.Fprintf(w, "final gaps: top-2 - top-1 = %+.2f%%, top-3 - top-2 = %+.2f%%\n",
+		100*(r.Top2[last]-r.Top1[last]), 100*(r.Top3[last]-r.Top2[last]))
+	return err
+}

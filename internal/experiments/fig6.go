@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/encoding"
+	"repro/internal/metrics"
+)
+
+// Fig6Curve is one ROC curve of Fig. 6: a DistHD model trained with a
+// particular α/β ratio, evaluated one-vs-rest on the positive class.
+type Fig6Curve struct {
+	Label     string
+	AlphaBeta float64
+	Points    []metrics.ROCPoint
+	AUC       float64
+	Accuracy  float64
+}
+
+// Fig6Result holds the two weight-parameter settings the paper contrasts:
+// α/β = 0.5 (specificity-leaning) and α/β = 2 (sensitivity-leaning).
+type Fig6Result struct {
+	Dataset string
+	// PositiveClass is the class treated as "positive" for the ROC.
+	PositiveClass int
+	Curves        []Fig6Curve
+}
+
+// RunFig6 trains DistHD twice on the DIABETES stand-in with the two α/β
+// ratios and computes one-vs-rest ROC curves from the class-score margins.
+func RunFig6(o Options) (*Fig6Result, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	p, err := loadOne(o, "DIABETES")
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig6Result{Dataset: p.Name, PositiveClass: 0}
+
+	settings := []struct {
+		label       string
+		alpha, beta float64
+	}{
+		{"alpha/beta=0.5", 0.5, 1.0},
+		{"alpha/beta=2", 1.0, 0.5},
+	}
+	d := 512
+	if o.Quick {
+		d = 128
+	}
+	for _, s := range settings {
+		cfg := core.DefaultConfig()
+		cfg.Dim = d
+		cfg.Iterations = hdcIterations(o)
+		cfg.Alpha = s.alpha
+		cfg.Beta = s.beta
+		cfg.Theta = s.beta / 2
+		cfg.Seed = o.Seed
+		enc := encoding.NewRBF(p.Train.Features(), d, o.Seed^0xf16)
+		clf, _, err := core.Train(enc, p.Train.X, p.Train.Y, p.Train.Classes, cfg)
+		if err != nil {
+			return nil, err
+		}
+
+		// One-vs-rest margin of the positive class: its similarity minus
+		// the best other-class similarity.
+		scores := make([]float64, p.Test.N())
+		positive := make([]bool, p.Test.N())
+		correct := 0
+		for i := 0; i < p.Test.N(); i++ {
+			s := clf.Scores(p.Test.X.Row(i))
+			bestOther := -2.0
+			for c, v := range s {
+				if c != res.PositiveClass && v > bestOther {
+					bestOther = v
+				}
+			}
+			scores[i] = s[res.PositiveClass] - bestOther
+			positive[i] = p.Test.Y[i] == res.PositiveClass
+			best := 0
+			for c, v := range s {
+				if v > s[best] {
+					best = c
+				}
+			}
+			if best == p.Test.Y[i] {
+				correct++
+			}
+		}
+		points, auc, err := metrics.ROC(scores, positive)
+		if err != nil {
+			return nil, err
+		}
+		res.Curves = append(res.Curves, Fig6Curve{
+			Label:     s.label,
+			AlphaBeta: s.alpha / s.beta,
+			Points:    points,
+			AUC:       auc,
+			Accuracy:  float64(correct) / float64(p.Test.N()),
+		})
+	}
+	return res, nil
+}
+
+// Render prints coarse ROC operating points plus AUCs, the paper's Fig. 6.
+func (r *Fig6Result) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Fig. 6: ROC of DistHD with different weight parameters on %s (positive class %d)\n",
+		r.Dataset, r.PositiveClass); err != nil {
+		return err
+	}
+	for _, c := range r.Curves {
+		if _, err := fmt.Fprintf(w, "\n%s: AUC = %.3f, accuracy = %s\n", c.Label, c.AUC, pct(c.Accuracy)); err != nil {
+			return err
+		}
+		t := newTable("FPR (1-specificity)", "TPR (sensitivity)")
+		// subsample ~10 operating points for readability
+		step := len(c.Points) / 10
+		if step < 1 {
+			step = 1
+		}
+		for i := 0; i < len(c.Points); i += step {
+			t.addf("%.3f\t%.3f", c.Points[i].FPR, c.Points[i].TPR)
+		}
+		last := c.Points[len(c.Points)-1]
+		t.addf("%.3f\t%.3f", last.FPR, last.TPR)
+		if err := t.render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/baselinehd"
+	"repro/internal/core"
+	"repro/internal/encoding"
+	"repro/internal/neuralhd"
+)
+
+// Fig7Result backs Fig. 7: convergence speed (test accuracy vs training
+// iterations) and accuracy vs dimensionality for DistHD, NeuralHD and
+// baselineHD.
+type Fig7Result struct {
+	Dataset string
+	// Checkpoints lists the sampled iteration budgets; the three iter
+	// curves are indexed by checkpoint.
+	Checkpoints                               []int
+	DistHDIters, NeuralHDIters, BaselineIters []float64
+	// Dim sweep.
+	Dims                                   []int
+	DistHDDims, NeuralHDDims, BaselineDims []float64
+}
+
+// RunFig7 reproduces both panels on the UCIHAR stand-in.
+func RunFig7(o Options) (*Fig7Result, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	p, err := loadOne(o, "UCIHAR")
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7Result{Dataset: p.Name}
+
+	lowD, _ := comparisonDims(o)
+	iters := hdcIterations(o)
+
+	// Left panel: accuracy after each iteration at the compressed D.
+	// DistHD/NeuralHD expose per-iteration accuracy by retraining with
+	// increasing budgets (their encoders mutate during training, so a
+	// mid-training snapshot requires a fresh deterministic run).
+	res.Checkpoints = convergenceCheckpoints(iters)
+	for _, cp := range res.Checkpoints {
+		dcfg := core.DefaultConfig()
+		dcfg.Dim = lowD
+		dcfg.Iterations = cp
+		dcfg.Seed = o.Seed
+		enc := encoding.NewRBF(p.Train.Features(), lowD, o.Seed^0x7a)
+		dclf, _, err := core.Train(enc, p.Train.X, p.Train.Y, p.Train.Classes, dcfg)
+		if err != nil {
+			return nil, err
+		}
+		res.DistHDIters = append(res.DistHDIters, dclf.Accuracy(p.Test.X, p.Test.Y))
+
+		ncfg := neuralhd.DefaultConfig()
+		ncfg.Dim = lowD
+		ncfg.Iterations = cp
+		ncfg.Seed = o.Seed
+		nenc := encoding.NewRBF(p.Train.Features(), lowD, o.Seed^0x7b)
+		nclf, _, err := neuralhd.Train(nenc, p.Train.X, p.Train.Y, p.Train.Classes, ncfg)
+		if err != nil {
+			return nil, err
+		}
+		res.NeuralHDIters = append(res.NeuralHDIters, nclf.Accuracy(p.Test.X, p.Test.Y))
+
+		bclf, err := baselinehd.Train(p.Train.X, p.Train.Y, p.Train.Classes,
+			baselinehd.Config{Dim: lowD, Epochs: cp, Seed: o.Seed})
+		if err != nil {
+			return nil, err
+		}
+		res.BaselineIters = append(res.BaselineIters, bclf.Accuracy(p.Test.X, p.Test.Y))
+	}
+
+	// Right panel: accuracy vs dimensionality at the full iteration budget.
+	if o.Quick {
+		res.Dims = []int{64, 128, 256}
+	} else {
+		res.Dims = []int{1024, 2048, 3072, 4096}
+	}
+	for _, d := range res.Dims {
+		dcfg := core.DefaultConfig()
+		dcfg.Dim = d
+		dcfg.Iterations = iters
+		dcfg.Seed = o.Seed
+		enc := encoding.NewRBF(p.Train.Features(), d, o.Seed^0x7c)
+		dclf, _, err := core.Train(enc, p.Train.X, p.Train.Y, p.Train.Classes, dcfg)
+		if err != nil {
+			return nil, err
+		}
+		res.DistHDDims = append(res.DistHDDims, dclf.Accuracy(p.Test.X, p.Test.Y))
+
+		ncfg := neuralhd.DefaultConfig()
+		ncfg.Dim = d
+		ncfg.Iterations = iters
+		ncfg.Seed = o.Seed
+		nenc := encoding.NewRBF(p.Train.Features(), d, o.Seed^0x7d)
+		nclf, _, err := neuralhd.Train(nenc, p.Train.X, p.Train.Y, p.Train.Classes, ncfg)
+		if err != nil {
+			return nil, err
+		}
+		res.NeuralHDDims = append(res.NeuralHDDims, nclf.Accuracy(p.Test.X, p.Test.Y))
+
+		bclf, err := baselinehd.Train(p.Train.X, p.Train.Y, p.Train.Classes,
+			baselinehd.Config{Dim: d, Epochs: iters, Seed: o.Seed})
+		if err != nil {
+			return nil, err
+		}
+		res.BaselineDims = append(res.BaselineDims, bclf.Accuracy(p.Test.X, p.Test.Y))
+	}
+	return res, nil
+}
+
+// convergenceCheckpoints returns the iteration budgets sampled for the
+// left panel.
+func convergenceCheckpoints(max int) []int {
+	full := []int{1, 2, 4, 8, 12, 16, 20, 30, 40, 60, 80}
+	var out []int
+	for _, c := range full {
+		if c <= max {
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 || out[len(out)-1] != max {
+		out = append(out, max)
+	}
+	return out
+}
+
+// Render prints both panels.
+func (r *Fig7Result) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Fig. 7: convergence of DistHD vs other HDC algorithms on %s\n", r.Dataset); err != nil {
+		return err
+	}
+	t := newTable("Iterations", "DistHD", "NeuralHD", "BaselineHD")
+	for i := range r.DistHDIters {
+		t.addf("%d\t%s\t%s\t%s", r.Checkpoints[i],
+			pct(r.DistHDIters[i]), pct(r.NeuralHDIters[i]), pct(r.BaselineIters[i]))
+	}
+	if err := t.render(w); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	t2 := newTable("Dimensions", "DistHD", "NeuralHD", "BaselineHD")
+	for i, d := range r.Dims {
+		t2.addf("%s\t%s\t%s\t%s", dimLabel(d),
+			pct(r.DistHDDims[i]), pct(r.NeuralHDDims[i]), pct(r.BaselineDims[i]))
+	}
+	return t2.render(w)
+}

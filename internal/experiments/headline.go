@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// HeadlineResult aggregates the five numbers the paper's abstract claims,
+// computed from this repository's runs: accuracy gain over SOTA HDC,
+// dimensionality reduction, training and inference speedups, and the
+// robustness ratio over the DNN.
+type HeadlineResult struct {
+	// AccGainVsHDC is DistHD(lowD) minus the best SOTA-HDC mean accuracy
+	// (max of baselineHD at either D and NeuralHD). Paper: +2.12%.
+	AccGainVsHDC float64
+	// DimReduction is highD/lowD when DistHD(lowD) matches or beats
+	// baselineHD(highD); 1.0 otherwise. Paper: 8.0×.
+	DimReduction float64
+	// TrainSpeedupVsDNN is the geometric-mean training-time ratio.
+	// Paper: 5.97×.
+	TrainSpeedupVsDNN float64
+	// InferSpeedupVsHDC is the geometric-mean inference-latency ratio vs
+	// baselineHD at high D*. Paper: 8.09×.
+	InferSpeedupVsHDC float64
+	// RobustnessVsDNN is DNN quality loss over DistHD 1-bit max-D loss at
+	// 10% bit flips. Paper: 12.90×.
+	RobustnessVsDNN float64
+	// Sources preserved for rendering context.
+	Comparison *ComparisonResult
+	Robustness *Fig8Result
+}
+
+// RunHeadline computes the abstract-level claims from a fresh comparison
+// run and robustness table.
+func RunHeadline(o Options) (*HeadlineResult, error) {
+	cmp, err := RunComparison(o)
+	if err != nil {
+		return nil, err
+	}
+	rob, err := RunFig8(o)
+	if err != nil {
+		return nil, err
+	}
+	res := &HeadlineResult{Comparison: cmp, Robustness: rob}
+
+	dist := cmp.MeanAccuracy(cmp.Learners[5])
+	bestHDC := cmp.MeanAccuracy(cmp.Learners[2])
+	for _, l := range []string{cmp.Learners[3], cmp.Learners[4]} {
+		if a := cmp.MeanAccuracy(l); a > bestHDC {
+			bestHDC = a
+		}
+	}
+	res.AccGainVsHDC = dist - bestHDC
+
+	lowD, highD := comparisonDims(o)
+	if dist >= cmp.MeanAccuracy(cmp.Learners[3]) {
+		res.DimReduction = float64(highD) / float64(lowD)
+	} else {
+		res.DimReduction = 1
+	}
+	res.TrainSpeedupVsDNN = cmp.speedup(cmp.Learners[0], cmp.Learners[5], false)
+	res.InferSpeedupVsHDC = cmp.speedup(cmp.Learners[3], cmp.Learners[5], true)
+
+	// Robustness at the 10% flip column (index 3).
+	const tenPct = 3
+	if len(rob.DNN) > tenPct {
+		dnnLoss := rob.DNN[tenPct]
+		distLoss := rob.DistHD[0][len(rob.Dims)-1][tenPct]
+		if distLoss > 0 {
+			res.RobustnessVsDNN = dnnLoss / distLoss
+		}
+	}
+	return res, nil
+}
+
+// Render prints the measured headline numbers next to the paper's.
+func (r *HeadlineResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Headline claims: paper (abstract) vs this reproduction"); err != nil {
+		return err
+	}
+	t := newTable("Claim", "Paper", "Measured")
+	t.addf("accuracy vs SOTA HDC\t+2.12%%\t%+.2f%%", 100*r.AccGainVsHDC)
+	t.addf("dimensionality reduction\t8.0x\t%.1fx", r.DimReduction)
+	t.addf("training speedup vs DNN\t5.97x\t%.2fx", r.TrainSpeedupVsDNN)
+	t.addf("inference speedup vs SOTA HDC\t8.09x\t%.2fx", r.InferSpeedupVsHDC)
+	if r.RobustnessVsDNN > 0 {
+		t.addf("robustness vs DNN (10%% flips)\t12.90x\t%.2fx", r.RobustnessVsDNN)
+	} else {
+		t.addf("robustness vs DNN (10%% flips)\t12.90x\tno measurable DistHD loss")
+	}
+	return t.render(w)
+}

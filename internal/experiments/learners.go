@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baselinehd"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/encoding"
+	"repro/internal/mat"
+	"repro/internal/mlp"
+	"repro/internal/neuralhd"
+	"repro/internal/svm"
+)
+
+// Learner is the uniform face every comparator presents to the harness:
+// train on one dataset, then classify batches. Implementations time their
+// own phases through the harness, not internally.
+type Learner interface {
+	// Name is the display label used in tables ("DistHD (D=0.5k)").
+	Name() string
+	// Train fits the learner on the training split.
+	Train(train *dataset.Dataset) error
+	// Predict classifies every row of X.
+	Predict(X *mat.Dense) []int
+}
+
+// dims used by the headline comparison. Quick mode shrinks everything.
+func comparisonDims(o Options) (lowD, highD int) {
+	if o.Quick {
+		return 64, 512
+	}
+	return 512, 4096
+}
+
+func hdcIterations(o Options) int {
+	if o.Quick {
+		return 8
+	}
+	return 20
+}
+
+// --- DistHD ---
+
+type distHDLearner struct {
+	name string
+	cfg  core.Config
+	seed uint64
+	clf  *core.Classifier
+	// Stats from the last Train call, for convergence reporting.
+	Stats *core.TrainStats
+}
+
+func newDistHD(o Options, d int) *distHDLearner {
+	cfg := core.DefaultConfig()
+	cfg.Dim = d
+	cfg.Iterations = hdcIterations(o)
+	cfg.Seed = o.Seed
+	return &distHDLearner{
+		name: fmt.Sprintf("DistHD (D=%s)", dimLabel(d)),
+		cfg:  cfg,
+		seed: o.Seed,
+	}
+}
+
+func (l *distHDLearner) Name() string { return l.name }
+
+func (l *distHDLearner) Train(train *dataset.Dataset) error {
+	enc := encoding.NewRBF(train.Features(), l.cfg.Dim, l.seed^0xd15c)
+	clf, stats, err := core.Train(enc, train.X, train.Y, train.Classes, l.cfg)
+	if err != nil {
+		return err
+	}
+	l.clf = clf
+	l.Stats = stats
+	return nil
+}
+
+func (l *distHDLearner) Predict(X *mat.Dense) []int { return l.clf.PredictBatch(X) }
+
+// --- NeuralHD ---
+
+type neuralHDLearner struct {
+	name string
+	cfg  neuralhd.Config
+	seed uint64
+	clf  *neuralhd.Classifier
+	// Stats from the last Train call.
+	Stats *neuralhd.Stats
+}
+
+func newNeuralHD(o Options, d int) *neuralHDLearner {
+	cfg := neuralhd.DefaultConfig()
+	cfg.Dim = d
+	cfg.Iterations = hdcIterations(o)
+	cfg.Seed = o.Seed
+	return &neuralHDLearner{
+		name: fmt.Sprintf("NeuralHD (D=%s)", dimLabel(d)),
+		cfg:  cfg,
+		seed: o.Seed,
+	}
+}
+
+func (l *neuralHDLearner) Name() string { return l.name }
+
+func (l *neuralHDLearner) Train(train *dataset.Dataset) error {
+	enc := encoding.NewRBF(train.Features(), l.cfg.Dim, l.seed^0x4e4e)
+	clf, stats, err := neuralhd.Train(enc, train.X, train.Y, train.Classes, l.cfg)
+	if err != nil {
+		return err
+	}
+	l.clf = clf
+	l.Stats = stats
+	return nil
+}
+
+func (l *neuralHDLearner) Predict(X *mat.Dense) []int { return l.clf.PredictBatch(X) }
+
+// --- baselineHD ---
+
+type baselineHDLearner struct {
+	name string
+	cfg  baselinehd.Config
+	clf  *baselinehd.Classifier
+}
+
+func newBaselineHD(o Options, d int) *baselineHDLearner {
+	return &baselineHDLearner{
+		name: fmt.Sprintf("BaselineHD (D=%s)", dimLabel(d)),
+		cfg:  baselinehd.Config{Dim: d, Epochs: hdcIterations(o), Seed: o.Seed},
+	}
+}
+
+func (l *baselineHDLearner) Name() string { return l.name }
+
+func (l *baselineHDLearner) Train(train *dataset.Dataset) error {
+	clf, err := baselinehd.Train(train.X, train.Y, train.Classes, l.cfg)
+	if err != nil {
+		return err
+	}
+	l.clf = clf
+	return nil
+}
+
+func (l *baselineHDLearner) Predict(X *mat.Dense) []int { return l.clf.PredictBatch(X) }
+
+// --- DNN (MLP) ---
+
+type dnnLearner struct {
+	cfg mlp.Config
+	net *mlp.Network
+}
+
+func newDNN(o Options) *dnnLearner {
+	cfg := mlp.DefaultConfig()
+	cfg.Seed = o.Seed
+	if o.Quick {
+		cfg.Hidden = []int{32}
+		cfg.Epochs = 5
+	}
+	return &dnnLearner{cfg: cfg}
+}
+
+func (l *dnnLearner) Name() string { return "DNN" }
+
+func (l *dnnLearner) Train(train *dataset.Dataset) error {
+	net, err := mlp.New(train.Features(), train.Classes, l.cfg)
+	if err != nil {
+		return err
+	}
+	if _, err := net.Fit(train.X, train.Y); err != nil {
+		return err
+	}
+	l.net = net
+	return nil
+}
+
+func (l *dnnLearner) Predict(X *mat.Dense) []int { return l.net.PredictBatch(X) }
+
+// --- SVM ---
+
+type svmLearner struct {
+	cfg svm.Config
+	m   *svm.Machine
+}
+
+func newSVM(o Options) *svmLearner {
+	cfg := svm.DefaultConfig()
+	cfg.Seed = o.Seed
+	if o.Quick {
+		cfg.RFFDim = 128
+		cfg.Epochs = 5
+	}
+	return &svmLearner{cfg: cfg}
+}
+
+func (l *svmLearner) Name() string { return "SVM" }
+
+func (l *svmLearner) Train(train *dataset.Dataset) error {
+	m, err := svm.Train(train.X, train.Y, train.Classes, l.cfg)
+	if err != nil {
+		return err
+	}
+	l.m = m
+	return nil
+}
+
+func (l *svmLearner) Predict(X *mat.Dense) []int { return l.m.PredictBatch(X) }
+
+// dimLabel renders a dimensionality the way the paper does (0.5k, 4k),
+// treating powers of two as their "k" approximations (512 → 0.5k).
+func dimLabel(d int) string {
+	switch {
+	case d == 512:
+		return "0.5k"
+	case d >= 1024 && d%1024 == 0:
+		return fmt.Sprintf("%dk", d/1024)
+	case d >= 1000 && d%1000 == 0:
+		return fmt.Sprintf("%dk", d/1000)
+	default:
+		return fmt.Sprintf("%d", d)
+	}
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Renderer is any experiment result that can print itself.
+type Renderer interface {
+	Render(w io.Writer) error
+}
+
+// Run executes the experiment with the given id and writes its rendered
+// table(s) to w. Valid ids are listed by ExperimentIDs.
+func Run(id string, o Options, w io.Writer) error {
+	var (
+		res Renderer
+		err error
+	)
+	switch id {
+	case "table1":
+		res, err = RunTable1(o)
+	case "fig2a":
+		res, err = RunFig2a(o)
+	case "fig2b":
+		res, err = RunFig2b(o)
+	case "fig4":
+		var c *ComparisonResult
+		c, err = RunComparison(o)
+		if err == nil {
+			return c.RenderFig4(w)
+		}
+	case "fig5":
+		var c *ComparisonResult
+		c, err = RunComparison(o)
+		if err == nil {
+			return c.RenderFig5(w)
+		}
+	case "fig6":
+		res, err = RunFig6(o)
+	case "fig7":
+		res, err = RunFig7(o)
+	case "fig8":
+		res, err = RunFig8(o)
+	case "ablA2":
+		res, err = RunAblationA2(o)
+	case "ablReg":
+		res, err = RunAblationRegen(o)
+	case "ablEnc":
+		res, err = RunAblationEncoder(o)
+	case "edgecost":
+		res, err = RunEdgeCost(o)
+	case "gridsearch":
+		res, err = RunGridSearch(o)
+	case "headline":
+		res, err = RunHeadline(o)
+	case "inputnoise":
+		res, err = RunInputNoise(o)
+	case "fig4stats":
+		res, err = RunFig4Stats(o)
+	case "hdtrainers":
+		res, err = RunHDTrainers(o)
+	default:
+		return fmt.Errorf("experiments: unknown experiment %q (valid: %v)", id, ExperimentIDs())
+	}
+	if err != nil {
+		return err
+	}
+	return res.Render(w)
+}

@@ -1,0 +1,283 @@
+package hv
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+const testDim = 2048
+
+func TestRandomBipolarValues(t *testing.T) {
+	h := RandomBipolar(1000, rng.New(1))
+	for _, v := range h {
+		if v != 1 && v != -1 {
+			t.Fatalf("non-bipolar value %v", v)
+		}
+	}
+}
+
+// The foundational HDC property: independently drawn hypervectors in high
+// dimension are nearly orthogonal (|cos| small).
+func TestNearOrthogonality(t *testing.T) {
+	r := rng.New(2)
+	for i := 0; i < 20; i++ {
+		a := RandomBipolar(testDim, r)
+		b := RandomBipolar(testDim, r)
+		if c := Cosine(a, b); math.Abs(c) > 0.1 {
+			t.Fatalf("random hypervectors not near-orthogonal: cos=%v", c)
+		}
+	}
+}
+
+func TestGaussianNearOrthogonality(t *testing.T) {
+	r := rng.New(3)
+	a := RandomGaussian(testDim, r)
+	b := RandomGaussian(testDim, r)
+	if c := Cosine(a, b); math.Abs(c) > 0.1 {
+		t.Fatalf("gaussian hypervectors not near-orthogonal: cos=%v", c)
+	}
+}
+
+func TestHamming(t *testing.T) {
+	a := []float64{1, 1, -1, -1}
+	b := []float64{1, -1, -1, 1}
+	if got := Hamming(a, b); got != 0.5 {
+		t.Fatalf("Hamming = %v, want 0.5", got)
+	}
+	if got := Hamming(a, a); got != 0 {
+		t.Fatalf("Hamming self = %v, want 0", got)
+	}
+	if got := Hamming(nil, nil); got != 0 {
+		t.Fatalf("Hamming empty = %v", got)
+	}
+}
+
+// Bundling acts as memory: the bundle is similar to members, dissimilar to
+// non-members (δ(bundle, member) >> 0, δ(bundle, other) ≈ 0) — the exact
+// property §III-A of the paper describes.
+func TestBundleMembership(t *testing.T) {
+	r := rng.New(4)
+	members := make([][]float64, 5)
+	for i := range members {
+		members[i] = RandomBipolar(testDim, r)
+	}
+	bundle := Bundle(members...)
+	for i, m := range members {
+		if c := Cosine(bundle, m); c < 0.25 {
+			t.Fatalf("member %d not recoverable from bundle: cos=%v", i, c)
+		}
+	}
+	outsider := RandomBipolar(testDim, r)
+	if c := Cosine(bundle, outsider); math.Abs(c) > 0.1 {
+		t.Fatalf("outsider too similar to bundle: cos=%v", c)
+	}
+}
+
+// Binding creates a near-orthogonal vector and is reversible for bipolar
+// inputs: Bind(Bind(a,b), a) == b.
+func TestBindReversible(t *testing.T) {
+	r := rng.New(5)
+	a := RandomBipolar(testDim, r)
+	b := RandomBipolar(testDim, r)
+	bound := Bind(a, b)
+	if c := math.Abs(Cosine(bound, a)); c > 0.1 {
+		t.Fatalf("bound vector too similar to input: %v", c)
+	}
+	back := Bind(bound, a)
+	for i := range back {
+		if back[i] != b[i] {
+			t.Fatal("Bind is not reversible for bipolar inputs")
+		}
+	}
+}
+
+func TestPermute(t *testing.T) {
+	h := []float64{1, 2, 3, 4}
+	p := Permute(h, 1)
+	want := []float64{4, 1, 2, 3}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("Permute = %v, want %v", p, want)
+		}
+	}
+	// negative and wrap-around shifts
+	if got := Permute(h, -1)[0]; got != 2 {
+		t.Fatalf("Permute(-1)[0] = %v, want 2", got)
+	}
+	p5 := Permute(h, 5)
+	p1 := Permute(h, 1)
+	for i := range p1 {
+		if p5[i] != p1[i] {
+			t.Fatal("Permute should wrap modulo len")
+		}
+	}
+}
+
+func TestPermutePreservesSimilarity(t *testing.T) {
+	r := rng.New(6)
+	a := RandomBipolar(testDim, r)
+	b := RandomBipolar(testDim, r)
+	before := Cosine(a, b)
+	after := Cosine(Permute(a, 17), Permute(b, 17))
+	if math.Abs(before-after) > 1e-12 {
+		t.Fatalf("permutation changed pairwise similarity: %v -> %v", before, after)
+	}
+	// but decorrelates against the unpermuted vector
+	if c := math.Abs(Cosine(a, Permute(a, 17))); c > 0.1 {
+		t.Fatalf("permuted vector too similar to original: %v", c)
+	}
+}
+
+func TestSign(t *testing.T) {
+	h := []float64{-2.5, 0, 3.1}
+	Sign(h)
+	want := []float64{-1, 1, 1}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Fatalf("Sign = %v, want %v", h, want)
+		}
+	}
+}
+
+func TestMajority(t *testing.T) {
+	a := []float64{1, 1, -1}
+	b := []float64{1, -1, -1}
+	c := []float64{-1, 1, -1}
+	m := Majority(a, b, c)
+	want := []float64{1, 1, -1}
+	for i := range want {
+		if m[i] != want[i] {
+			t.Fatalf("Majority = %v, want %v", m, want)
+		}
+	}
+}
+
+func TestBundleEmpty(t *testing.T) {
+	if Bundle() != nil {
+		t.Fatal("Bundle() should be nil")
+	}
+}
+
+func TestDimMismatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"Bind":    func() { Bind([]float64{1}, []float64{1, 2}) },
+		"Bundle":  func() { Bundle([]float64{1}, []float64{1, 2}) },
+		"Hamming": func() { _ = Hamming([]float64{1}, []float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s mismatch did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCheckDim(t *testing.T) {
+	CheckDim(make([]float64, 5), 5) // must not panic
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CheckDim mismatch did not panic")
+		}
+	}()
+	CheckDim(make([]float64, 4), 5)
+}
+
+// Property: binding is commutative and self-inverse on bipolar vectors.
+func TestBindProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		a := RandomBipolar(64, r)
+		b := RandomBipolar(64, r)
+		ab := Bind(a, b)
+		ba := Bind(b, a)
+		for i := range ab {
+			if ab[i] != ba[i] {
+				return false
+			}
+		}
+		id := Bind(a, a)
+		for _, v := range id {
+			if v != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Permute(Permute(h, k), -k) is the identity.
+func TestPermuteInverseProperty(t *testing.T) {
+	f := func(seed uint64, k int16) bool {
+		r := rng.New(seed)
+		h := RandomBipolar(32, r)
+		back := Permute(Permute(h, int(k)), -int(k))
+		for i := range h {
+			if back[i] != h[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Hamming distance and cosine agree in ordering for bipolar
+// vectors (cos = 1 - 2*hamming).
+func TestHammingCosineRelation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		a := RandomBipolar(128, r)
+		b := RandomBipolar(128, r)
+		return math.Abs(Cosine(a, b)-(1-2*Hamming(a, b))) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCosine4096(b *testing.B) {
+	r := rng.New(1)
+	x := RandomBipolar(4096, r)
+	y := RandomBipolar(4096, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Cosine(x, y)
+	}
+}
+
+// Bundle capacity: recovering a member from a bundle gets harder as the
+// bundle grows — similarity decays roughly like 1/sqrt(k) — but stays well
+// above the noise floor for small k at high D. This is the quantitative
+// version of the "memory operation" property.
+func TestBundleCapacityDecay(t *testing.T) {
+	r := rng.New(20)
+	const d = 4096
+	simOfFirst := func(k int) float64 {
+		members := make([][]float64, k)
+		for i := range members {
+			members[i] = RandomBipolar(d, r)
+		}
+		return Cosine(Bundle(members...), members[0])
+	}
+	s2 := simOfFirst(2)
+	s8 := simOfFirst(8)
+	s32 := simOfFirst(32)
+	if !(s2 > s8 && s8 > s32) {
+		t.Fatalf("bundle similarity not decaying: %v %v %v", s2, s8, s32)
+	}
+	// even at 32 members the member stays detectable above noise (~1/sqrt(D)=0.016)
+	if s32 < 0.1 {
+		t.Fatalf("32-member bundle lost its members: cos=%v", s32)
+	}
+}

@@ -1,0 +1,292 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestAccuracy(t *testing.T) {
+	acc, err := Accuracy([]int{0, 1, 1, 0}, []int{0, 1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc != 0.75 {
+		t.Fatalf("accuracy = %v, want 0.75", acc)
+	}
+	if _, err := Accuracy([]int{0}, []int{0, 1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Accuracy(nil, nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestConfusion(t *testing.T) {
+	conf, err := Confusion([]int{0, 1, 1, 2}, []int{0, 1, 2, 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf[0][0] != 1 || conf[1][1] != 1 || conf[2][1] != 1 || conf[2][2] != 1 {
+		t.Fatalf("confusion = %v", conf)
+	}
+	if _, err := Confusion([]int{5}, []int{0}, 3); err == nil {
+		t.Fatal("out-of-range prediction accepted")
+	}
+}
+
+func TestSensitivitySpecificity(t *testing.T) {
+	// class 0: TP=8, FN=2, FP=1, TN=9
+	conf := [][]int{
+		{8, 2},
+		{1, 9},
+	}
+	sens, spec := SensitivitySpecificity(conf, 0)
+	if math.Abs(sens-0.8) > 1e-12 {
+		t.Fatalf("sensitivity = %v, want 0.8", sens)
+	}
+	if math.Abs(spec-0.9) > 1e-12 {
+		t.Fatalf("specificity = %v, want 0.9", spec)
+	}
+	// degenerate: class with no samples
+	conf2 := [][]int{{0, 0}, {0, 5}}
+	s, _ := SensitivitySpecificity(conf2, 0)
+	if s != 0 {
+		t.Fatalf("empty-class sensitivity = %v, want 0", s)
+	}
+}
+
+func TestROCPerfectClassifier(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	pos := []bool{true, true, false, false}
+	curve, auc, err := ROC(scores, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-1) > 1e-12 {
+		t.Fatalf("perfect AUC = %v", auc)
+	}
+	last := curve[len(curve)-1]
+	if last.FPR != 1 || last.TPR != 1 {
+		t.Fatalf("curve must end at (1,1), got %+v", last)
+	}
+}
+
+func TestROCWorstClassifier(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	pos := []bool{true, true, false, false}
+	_, auc, err := ROC(scores, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc) > 1e-12 {
+		t.Fatalf("inverted AUC = %v, want 0", auc)
+	}
+}
+
+func TestROCRandomScoresNearHalf(t *testing.T) {
+	r := rng.New(1)
+	const n = 4000
+	scores := make([]float64, n)
+	pos := make([]bool, n)
+	for i := range scores {
+		scores[i] = r.Float64()
+		pos[i] = r.Float64() < 0.5
+	}
+	_, auc, err := ROC(scores, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.5) > 0.03 {
+		t.Fatalf("random AUC = %v, want ~0.5", auc)
+	}
+}
+
+func TestROCTieHandling(t *testing.T) {
+	// every sample shares one score: AUC must be exactly 0.5
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	pos := []bool{true, false, true, false}
+	curve, auc, err := ROC(scores, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.5) > 1e-12 {
+		t.Fatalf("tied AUC = %v, want exactly 0.5", auc)
+	}
+	// the tie group must move as one: curve has start + one point
+	if len(curve) != 2 {
+		t.Fatalf("tied curve has %d points, want 2", len(curve))
+	}
+}
+
+func TestROCValidation(t *testing.T) {
+	if _, _, err := ROC([]float64{1}, []bool{true, false}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, _, err := ROC([]float64{1, 2}, []bool{true, true}); err == nil {
+		t.Fatal("single-class input accepted")
+	}
+}
+
+func TestMacroAUC(t *testing.T) {
+	// 3 samples, 2 classes, perfectly separable
+	scores := [][]float64{
+		{0.9, 0.1},
+		{0.8, 0.2},
+		{0.1, 0.9},
+	}
+	y := []int{0, 0, 1}
+	auc, err := MacroAUC(scores, y, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-1) > 1e-12 {
+		t.Fatalf("macro AUC = %v, want 1", auc)
+	}
+	// class absent from labels is skipped, not an error
+	wide := [][]float64{
+		{0.9, 0.1, 0},
+		{0.8, 0.2, 0},
+		{0.1, 0.9, 0},
+	}
+	if _, err := MacroAUC(wide, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	// score rows narrower than k must be rejected, not panic
+	if _, err := MacroAUC(scores, y, 3); err == nil {
+		t.Fatal("narrow score rows accepted")
+	}
+}
+
+func TestQualityLoss(t *testing.T) {
+	if QualityLoss(0.9, 0.8) != 0.1 && math.Abs(QualityLoss(0.9, 0.8)-0.1) > 1e-12 {
+		t.Fatal("quality loss wrong")
+	}
+	if QualityLoss(0.8, 0.9) != 0 {
+		t.Fatal("negative loss should clamp to 0")
+	}
+}
+
+// Property: AUC is invariant to monotone transforms of the scores.
+func TestAUCMonotoneInvariance(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 40
+		scores := make([]float64, n)
+		trans := make([]float64, n)
+		pos := make([]bool, n)
+		nPos := 0
+		for i := range scores {
+			scores[i] = r.NormFloat64()
+			trans[i] = math.Exp(scores[i]) // strictly monotone
+			pos[i] = r.Float64() < 0.5
+			if pos[i] {
+				nPos++
+			}
+		}
+		if nPos == 0 || nPos == n {
+			return true // vacuous
+		}
+		_, a1, err1 := ROC(scores, pos)
+		_, a2, err2 := ROC(trans, pos)
+		return err1 == nil && err2 == nil && math.Abs(a1-a2) < 1e-9
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AUC equals the Mann-Whitney U statistic (probability a random
+// positive outscores a random negative, ties counting half).
+func TestAUCEqualsMannWhitney(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 30
+		scores := make([]float64, n)
+		pos := make([]bool, n)
+		nPos := 0
+		for i := range scores {
+			scores[i] = float64(r.Intn(5)) // coarse grid forces ties
+			pos[i] = r.Float64() < 0.5
+			if pos[i] {
+				nPos++
+			}
+		}
+		if nPos == 0 || nPos == n {
+			return true
+		}
+		_, auc, err := ROC(scores, pos)
+		if err != nil {
+			return false
+		}
+		var u, pairs float64
+		for i := range scores {
+			if !pos[i] {
+				continue
+			}
+			for j := range scores {
+				if pos[j] {
+					continue
+				}
+				pairs++
+				switch {
+				case scores[i] > scores[j]:
+					u++
+				case scores[i] == scores[j]:
+					u += 0.5
+				}
+			}
+		}
+		return math.Abs(auc-u/pairs) < 1e-9
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestF1(t *testing.T) {
+	// class 0: tp=8, fn=2, fp=4 -> precision 8/12, recall 8/10, F1 = 2*.667*.8/1.467
+	conf := [][]int{
+		{8, 2},
+		{4, 6},
+	}
+	got := F1(conf, 0)
+	precision := 8.0 / 12
+	recall := 8.0 / 10
+	want := 2 * precision * recall / (precision + recall)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("F1 = %v, want %v", got, want)
+	}
+	// degenerate: class never predicted and never actual
+	empty := [][]int{{0, 0}, {0, 5}}
+	if F1(empty, 0) != 0 {
+		t.Fatal("degenerate F1 should be 0")
+	}
+}
+
+func TestMacroF1(t *testing.T) {
+	// perfect classifier: macro F1 = 1
+	conf := [][]int{
+		{5, 0},
+		{0, 7},
+	}
+	if got := MacroF1(conf); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect MacroF1 = %v", got)
+	}
+	// class 2 absent from labels is skipped
+	conf3 := [][]int{
+		{5, 0, 0},
+		{0, 7, 0},
+		{0, 0, 0},
+	}
+	if got := MacroF1(conf3); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("MacroF1 with absent class = %v", got)
+	}
+	if MacroF1([][]int{{0}}) != 0 {
+		t.Fatal("all-absent MacroF1 should be 0")
+	}
+}

@@ -1,0 +1,318 @@
+// Package model implements the HDC class-hypervector model and the
+// adaptive learning rule of Algorithm 1 in the DistHD paper. The model is
+// shared by every HDC learner in this repository: baselineHD trains it over
+// a static encoder, and DistHD / NeuralHD retrain it while regenerating
+// encoder dimensions between iterations.
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+// Model holds one hypervector per class plus cached norms so that cosine
+// similarity (eq. 1 of the paper) reduces to a dot product.
+type Model struct {
+	// Weights holds the class hypervectors as rows (Classes × Dim).
+	Weights *mat.Dense
+	norms   []float64 // cached Euclidean norm per class row
+}
+
+// New returns a zero-initialized model for k classes and dimension d.
+func New(k, d int) *Model {
+	if k < 2 || d <= 0 {
+		panic(fmt.Sprintf("model: New(%d, %d) invalid", k, d))
+	}
+	return &Model{Weights: mat.New(k, d), norms: make([]float64, k)}
+}
+
+// Classes returns the number of classes.
+func (m *Model) Classes() int { return m.Weights.Rows }
+
+// Dim returns the hypervector dimensionality.
+func (m *Model) Dim() int { return m.Weights.Cols }
+
+// Clone returns a deep copy.
+func (m *Model) Clone() *Model {
+	c := &Model{Weights: m.Weights.Clone(), norms: make([]float64, len(m.norms))}
+	copy(c.norms, m.norms)
+	return c
+}
+
+// RefreshNorms recomputes every cached class norm. Call after bulk edits to
+// Weights made outside the package's own update methods.
+func (m *Model) RefreshNorms() {
+	for c := 0; c < m.Classes(); c++ {
+		m.norms[c] = mat.Norm2(m.Weights.Row(c))
+	}
+}
+
+// refreshNorm updates the cached norm of a single class.
+func (m *Model) refreshNorm(c int) { m.norms[c] = mat.Norm2(m.Weights.Row(c)) }
+
+// Scores writes δ(h, C_l) for every class into dst and returns dst.
+// δ is cosine similarity; classes with zero norm score 0.
+func (m *Model) Scores(h []float64, dst []float64) []float64 {
+	if len(dst) != m.Classes() {
+		panic("model: Scores dst length mismatch")
+	}
+	hn := mat.Norm2(h)
+	if hn == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
+	}
+	for c := 0; c < m.Classes(); c++ {
+		if m.norms[c] == 0 {
+			dst[c] = 0
+			continue
+		}
+		dst[c] = mat.Dot(h, m.Weights.Row(c)) / (hn * m.norms[c])
+	}
+	return dst
+}
+
+// Predict returns the most similar class for hypervector h.
+func (m *Model) Predict(h []float64) int {
+	dst := make([]float64, m.Classes())
+	return mat.ArgMax(m.Scores(h, dst))
+}
+
+// Top2 returns the two most similar classes for h, best first.
+func (m *Model) Top2(h []float64) (int, int) {
+	dst := make([]float64, m.Classes())
+	return mat.ArgTop2(m.Scores(h, dst))
+}
+
+// TopK returns the k most similar classes in descending similarity.
+func (m *Model) TopK(h []float64, k int) []int {
+	dst := make([]float64, m.Classes())
+	return mat.ArgTopK(m.Scores(h, dst), k)
+}
+
+// PredictBatch classifies every row of H in parallel.
+func (m *Model) PredictBatch(H *mat.Dense) []int {
+	out := make([]int, H.Rows)
+	mat.ParallelFor(H.Rows, func(lo, hi int) {
+		scores := make([]float64, m.Classes())
+		for i := lo; i < hi; i++ {
+			out[i] = mat.ArgMax(m.Scores(H.Row(i), scores))
+		}
+	})
+	return out
+}
+
+// ScoreBatch returns the full N×k similarity matrix for H.
+func (m *Model) ScoreBatch(H *mat.Dense) *mat.Dense {
+	out := mat.New(H.Rows, m.Classes())
+	mat.ParallelFor(H.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m.Scores(H.Row(i), out.Row(i))
+		}
+	})
+	return out
+}
+
+// ZeroDims zeroes the given coordinates in every class hypervector. DistHD
+// and NeuralHD call this right after regenerating those encoder dimensions,
+// because the old class values at those coordinates were accumulated under
+// the old base vectors and are meaningless under the new ones.
+func (m *Model) ZeroDims(dims []int) {
+	for _, d := range dims {
+		if d < 0 || d >= m.Dim() {
+			panic(fmt.Sprintf("model: ZeroDims index %d out of [0,%d)", d, m.Dim()))
+		}
+		for c := 0; c < m.Classes(); c++ {
+			m.Weights.Row(c)[d] = 0
+		}
+	}
+	m.RefreshNorms()
+}
+
+// AdaptiveStep applies the Algorithm 1 update for a single encoded sample
+// h with true label y: if the most similar class is wrong, the wrong class
+// is weakened and the true class strengthened, each scaled by how *novel*
+// the sample is to that class (1 − δ). Returns true if the prediction was
+// already correct.
+func (m *Model) AdaptiveStep(h []float64, y int, lr float64, scratch []float64) bool {
+	scores := m.Scores(h, scratch)
+	pred := mat.ArgMax(scores)
+	if pred == y {
+		return true
+	}
+	// C_pred ← C_pred − η(1 − δ_pred)·H
+	mat.Axpy(m.Weights.Row(pred), -lr*(1-scores[pred]), h)
+	// C_true ← C_true + η(1 − δ_true)·H
+	mat.Axpy(m.Weights.Row(y), lr*(1-scores[y]), h)
+	m.refreshNorm(pred)
+	m.refreshNorm(y)
+	return false
+}
+
+// TrainConfig controls Fit.
+type TrainConfig struct {
+	// LearningRate is η in Algorithm 1.
+	LearningRate float64
+	// Epochs is the maximum number of full passes over the data.
+	Epochs int
+	// Patience stops training after this many consecutive epochs without
+	// improvement in training accuracy; 0 disables early stopping.
+	Patience int
+	// Seed drives the per-epoch shuffle.
+	Seed uint64
+}
+
+// DefaultTrainConfig returns the hyperparameters used throughout the
+// experiments (η = 0.05, 20 epochs, no early stop).
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{LearningRate: 0.05, Epochs: 20, Seed: 1}
+}
+
+// TrainResult reports per-epoch training accuracy.
+type TrainResult struct {
+	// History[i] is the training accuracy observed during epoch i (fraction
+	// of samples whose pre-update prediction was already correct).
+	History []float64
+	// Epochs is the number of epochs actually run.
+	Epochs int
+}
+
+// Fit runs Algorithm 1 for up to cfg.Epochs passes over the encoded
+// training set H with labels y, shuffling the visit order each epoch.
+func Fit(m *Model, H *mat.Dense, y []int, cfg TrainConfig) (*TrainResult, error) {
+	if H.Rows != len(y) {
+		return nil, fmt.Errorf("model: %d samples but %d labels", H.Rows, len(y))
+	}
+	if H.Cols != m.Dim() {
+		return nil, fmt.Errorf("model: encoded dim %d != model dim %d", H.Cols, m.Dim())
+	}
+	if cfg.LearningRate <= 0 {
+		return nil, fmt.Errorf("model: non-positive learning rate %v", cfg.LearningRate)
+	}
+	if cfg.Epochs <= 0 {
+		return nil, fmt.Errorf("model: non-positive epoch count %d", cfg.Epochs)
+	}
+	r := rng.New(cfg.Seed)
+	res := &TrainResult{}
+	best := -1.0
+	stall := 0
+	scratch := make([]float64, m.Classes())
+	for e := 0; e < cfg.Epochs; e++ {
+		order := r.Perm(H.Rows)
+		correct := 0
+		for _, i := range order {
+			if m.AdaptiveStep(H.Row(i), y[i], cfg.LearningRate, scratch) {
+				correct++
+			}
+		}
+		acc := 1.0
+		if H.Rows > 0 {
+			acc = float64(correct) / float64(H.Rows)
+		}
+		res.History = append(res.History, acc)
+		res.Epochs = e + 1
+		if cfg.Patience > 0 {
+			if acc > best+1e-9 {
+				best = acc
+				stall = 0
+			} else {
+				stall++
+				if stall >= cfg.Patience {
+					break
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// FitOnline runs an OnlineHD-style single-pass initialization followed by
+// cfg.Epochs of adaptive refinement. Unlike the purely error-driven
+// Algorithm 1, the initial pass updates the true class on EVERY sample,
+// scaled by novelty: C_y += η(1−δ_y)·H, and additionally weakens a
+// wrongly-winning class. This converges faster from scratch at the cost
+// of some saturation — the trade-off the iterative-vs-single-pass HDC
+// literature explores.
+func FitOnline(m *Model, H *mat.Dense, y []int, cfg TrainConfig) (*TrainResult, error) {
+	if H.Rows != len(y) {
+		return nil, fmt.Errorf("model: %d samples but %d labels", H.Rows, len(y))
+	}
+	if H.Cols != m.Dim() {
+		return nil, fmt.Errorf("model: encoded dim %d != model dim %d", H.Cols, m.Dim())
+	}
+	if cfg.LearningRate <= 0 {
+		return nil, fmt.Errorf("model: non-positive learning rate %v", cfg.LearningRate)
+	}
+	scratch := make([]float64, m.Classes())
+	r := rng.New(cfg.Seed ^ 0x0411e)
+	correct := 0
+	for _, i := range r.Perm(H.Rows) {
+		h := H.Row(i)
+		scores := m.Scores(h, scratch)
+		pred := mat.ArgMax(scores)
+		if pred == y[i] {
+			correct++
+		} else {
+			mat.Axpy(m.Weights.Row(pred), -cfg.LearningRate*(1-scores[pred]), h)
+			m.refreshNorm(pred)
+		}
+		// novelty-scaled memorization of the true class, every sample
+		mat.Axpy(m.Weights.Row(y[i]), cfg.LearningRate*(1-scores[y[i]]), h)
+		m.refreshNorm(y[i])
+	}
+	res := &TrainResult{Epochs: 1}
+	if H.Rows > 0 {
+		res.History = append(res.History, float64(correct)/float64(H.Rows))
+	}
+	if cfg.Epochs > 1 {
+		refine := cfg
+		refine.Epochs = cfg.Epochs - 1
+		more, err := Fit(m, H, y, refine)
+		if err != nil {
+			return nil, err
+		}
+		res.History = append(res.History, more.History...)
+		res.Epochs += more.Epochs
+	}
+	return res, nil
+}
+
+// Accuracy returns the fraction of rows of H whose prediction matches y.
+func Accuracy(m *Model, H *mat.Dense, y []int) float64 {
+	if H.Rows == 0 {
+		return math.NaN()
+	}
+	pred := m.PredictBatch(H)
+	correct := 0
+	for i, p := range pred {
+		if p == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(y))
+}
+
+// TopKAccuracy returns the fraction of rows whose true label appears among
+// the k most similar classes — the paper's "top-k classification" metric
+// from Fig. 2(b).
+func TopKAccuracy(m *Model, H *mat.Dense, y []int, k int) float64 {
+	if H.Rows == 0 {
+		return math.NaN()
+	}
+	correct := 0
+	scores := make([]float64, m.Classes())
+	for i := 0; i < H.Rows; i++ {
+		top := mat.ArgTopK(m.Scores(H.Row(i), scores), k)
+		for _, c := range top {
+			if c == y[i] {
+				correct++
+				break
+			}
+		}
+	}
+	return float64(correct) / float64(H.Rows)
+}

@@ -1,0 +1,260 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams with different seeds collided %d/100 times", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("seed 0 produced repeats: %d unique of 100", len(seen))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	collisions := 0
+	for i := 0; i < 1000; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			collisions++
+		}
+	}
+	if collisions > 0 {
+		t.Fatalf("sibling streams collided %d times", collisions)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a := New(9).Split()
+	b := New(9).Split()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split is not deterministic")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(4)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(5)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Fatalf("Intn(7) bucket %d has skewed count %d", v, c)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(6)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("gaussian mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("gaussian variance = %v, want ~1", variance)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(8)
+	for i := 0; i < 1000; i++ {
+		v := r.Uniform(-3, 5)
+		if v < -3 || v >= 5 {
+			t.Fatalf("Uniform(-3,5) = %v out of range", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(10)
+	for _, n := range []int{0, 1, 2, 17, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	r := New(11)
+	counts := make([]int, 5)
+	for i := 0; i < 50000; i++ {
+		counts[r.Perm(5)[0]]++
+	}
+	for v, c := range counts {
+		if c < 8500 || c > 11500 {
+			t.Fatalf("Perm(5)[0]=%d count %d is skewed", v, c)
+		}
+	}
+}
+
+func TestBipolarBalanced(t *testing.T) {
+	r := New(12)
+	pos := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Bipolar()
+		if v != 1 && v != -1 {
+			t.Fatalf("Bipolar returned %v", v)
+		}
+		if v == 1 {
+			pos++
+		}
+	}
+	if pos < 48500 || pos > 51500 {
+		t.Fatalf("Bipolar +1 count %d/%d is skewed", pos, n)
+	}
+}
+
+func TestFillNorm(t *testing.T) {
+	r := New(13)
+	buf := make([]float64, 50000)
+	r.FillNorm(buf, 2, 3)
+	var sum float64
+	for _, v := range buf {
+		sum += v
+	}
+	mean := sum / float64(len(buf))
+	if math.Abs(mean-2) > 0.1 {
+		t.Fatalf("FillNorm mean %v, want ~2", mean)
+	}
+}
+
+func TestFillUniform(t *testing.T) {
+	r := New(14)
+	buf := make([]float64, 1000)
+	r.FillUniform(buf, 0, 2*math.Pi)
+	for _, v := range buf {
+		if v < 0 || v >= 2*math.Pi {
+			t.Fatalf("FillUniform out of range: %v", v)
+		}
+	}
+}
+
+// Property: Intn(n) is always in [0, n) for arbitrary positive n and seeds.
+func TestIntnProperty(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		m := int(n%1000) + 1
+		v := New(seed).Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: same seed, same sequence, for arbitrary seeds.
+func TestDeterminismProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		a, b := New(seed), New(seed)
+		for i := 0; i < 16; i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.NormFloat64()
+	}
+}

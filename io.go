@@ -1,0 +1,129 @@
+package disthd
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/encoding"
+	"repro/internal/mat"
+	"repro/internal/model"
+)
+
+// Binary model format: a fixed magic, a version byte, the shape header,
+// then the encoder parameters and class hypervectors as little-endian
+// float64s. Only RBF-encoded models are serializable (the linear encoder
+// is provided for ablations, not deployment).
+const (
+	modelMagic   = 0x44485644 // "DVHD"
+	modelVersion = 1
+)
+
+// Save writes the trained model to w in a self-contained binary format
+// readable by Load.
+func (m *Model) Save(w io.Writer) error {
+	if m.kind != EncoderRBF {
+		return fmt.Errorf("disthd: only RBF-encoded models can be serialized")
+	}
+	rbf, ok := m.clf.Enc.(*encoding.RBF)
+	if !ok {
+		return fmt.Errorf("disthd: model encoder is not RBF")
+	}
+	bw := bufio.NewWriter(w)
+	base, phase, sigma := rbf.Params()
+
+	writeU32 := func(v uint32) error { return binary.Write(bw, binary.LittleEndian, v) }
+	for _, v := range []uint32{modelMagic, modelVersion,
+		uint32(m.Features()), uint32(m.Dim()), uint32(m.Classes())} {
+		if err := writeU32(v); err != nil {
+			return fmt.Errorf("disthd: save header: %w", err)
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, sigma); err != nil {
+		return fmt.Errorf("disthd: save sigma: %w", err)
+	}
+	for _, block := range [][]float64{base.Data, phase, m.clf.Model.Weights.Data} {
+		if err := writeFloats(bw, block); err != nil {
+			return fmt.Errorf("disthd: save payload: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// writeFloats emits the slice as little-endian float64 bits.
+func writeFloats(w io.Writer, xs []float64) error {
+	buf := make([]byte, 8)
+	for _, x := range xs {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(x))
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFloats fills the slice from little-endian float64 bits.
+func readFloats(r io.Reader, xs []float64) error {
+	buf := make([]byte, 8)
+	for i := range xs {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return err
+		}
+		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	}
+	return nil
+}
+
+// Load reads a model previously written by Save. The returned model is
+// ready for inference and further deployment; its training statistics are
+// not preserved.
+func Load(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	var hdr [5]uint32
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("disthd: load header: %w", err)
+		}
+	}
+	if hdr[0] != modelMagic {
+		return nil, fmt.Errorf("disthd: bad magic 0x%x (not a DistHD model)", hdr[0])
+	}
+	if hdr[1] != modelVersion {
+		return nil, fmt.Errorf("disthd: unsupported model version %d", hdr[1])
+	}
+	features, dim, classes := int(hdr[2]), int(hdr[3]), int(hdr[4])
+	if features <= 0 || dim <= 0 || classes < 2 {
+		return nil, fmt.Errorf("disthd: corrupt model shape %dx%dx%d", features, dim, classes)
+	}
+	var sigma float64
+	if err := binary.Read(br, binary.LittleEndian, &sigma); err != nil {
+		return nil, fmt.Errorf("disthd: load sigma: %w", err)
+	}
+
+	base := mat.New(dim, features)
+	phase := make([]float64, dim)
+	weights := make([]float64, classes*dim)
+	for _, block := range [][]float64{base.Data, phase, weights} {
+		if err := readFloats(br, block); err != nil {
+			return nil, fmt.Errorf("disthd: load payload: %w", err)
+		}
+	}
+
+	enc, err := encoding.NewRBFFromParams(base, phase, sigma, 1)
+	if err != nil {
+		return nil, err
+	}
+	mdl := model.New(classes, dim)
+	copy(mdl.Weights.Data, weights)
+	mdl.RefreshNorms()
+
+	cfg := core.DefaultConfig()
+	cfg.Dim = dim
+	return &Model{
+		clf:  &core.Classifier{Enc: enc, Model: mdl, Cfg: cfg},
+		kind: EncoderRBF,
+	}, nil
+}
