@@ -1,0 +1,39 @@
+# Tier-1 verification and benchmark targets for the DistHD reproduction.
+#
+# `make ci` is the documented tier-1 gate: vet, build, race-enabled tests,
+# and a one-iteration benchmark smoke pass so the perf harness itself cannot
+# rot. `make bench` produces the numbers recorded in PERF.md.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench-smoke bench bench-kernels
+
+ci: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark: catches bit-rot in the perf harness
+# without paying for stable timings.
+bench-smoke:
+	$(GO) test ./... -run xxx -bench . -benchtime 1x
+
+# The kernel and end-to-end benchmarks behind PERF.md, with allocation
+# reporting and enough repetitions for benchstat.
+bench:
+	$(GO) test ./internal/mat ./internal/encoding ./internal/model \
+		-run xxx -bench . -benchtime 1s -count 5
+	$(GO) test . -run xxx -bench 'BenchmarkTrainDistHD|BenchmarkInference' \
+		-benchtime 2x -count 5
+
+bench-kernels:
+	$(GO) test ./internal/mat -run xxx -bench . -benchtime 1s

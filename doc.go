@@ -23,4 +23,29 @@
 // the experiment harness that regenerates every table and figure of the
 // paper, and the substrates they share — live under internal/ and are
 // exercised by cmd/hdbench and the benchmarks in bench_test.go.
+//
+// # Performance architecture
+//
+// Every hot path (batch encoding, similarity search, the adaptive training
+// iteration) bottoms out in the cache-blocked, register-tiled kernels of
+// internal/mat. The load-bearing pieces:
+//
+//   - mat.MulTInto / mat.MulTIntoFused: destination-passing A·Bᵀ — the
+//     shape of both HDC hot paths — blocked over the shared dimension and
+//     register-tiled 2×4 via the DotBatch micro-kernel, with an optional
+//     elementwise epilogue applied to each output row while it is still
+//     cache-hot.
+//   - encoding.*.EncodeBatchInto: batch encoding as one blocked GEMM with
+//     the encoder nonlinearity fused on, instead of N matrix-vector loops;
+//     EncodeDimsBatch patches only the regenerated columns of an encoded
+//     batch in place (the paper's cheap-retrain path).
+//   - model.ScoreBatchInto / PredictBatchInto / Trainer.Epoch: batched
+//     similarity and the training epoch over caller-owned buffers — the
+//     steady-state loops allocate nothing.
+//   - mat.ParallelFor: shard fan-out over a persistent worker pool;
+//     mat.GetScratch: pooled temporaries.
+//
+// PERF.md records the measured before/after numbers; `make ci` is the
+// tier-1 gate (vet + build + race tests + benchmark smoke) and `make
+// bench` reproduces the measurements.
 package disthd

@@ -14,11 +14,15 @@ import (
 )
 
 // Memory is an associative store of labeled hypervectors. All items share
-// one dimensionality, fixed by the first Store.
+// one dimensionality, fixed by the first Store. Item norms are cached at
+// Store time so recall is one blocked matrix product (mat.MulTInto) plus a
+// cheap normalization rather than per-item cosine loops. Memory is not
+// safe for concurrent use.
 type Memory struct {
 	dim   int
 	names []string
 	items *mat.Dense
+	norms []float64 // cached Euclidean norm per item row
 	index map[string]int
 }
 
@@ -47,6 +51,7 @@ func (m *Memory) Store(name string, h []float64) error {
 	}
 	if i, ok := m.index[name]; ok {
 		copy(m.items.Row(i), h)
+		m.norms[i] = mat.Norm2(h)
 		return nil
 	}
 	// Grow the backing matrix by one row.
@@ -56,13 +61,38 @@ func (m *Memory) Store(name string, h []float64) error {
 	}
 	copy(grown.Row(len(m.names)), h)
 	m.items = grown
+	m.norms = append(m.norms, mat.Norm2(h))
 	m.index[name] = len(m.names)
 	m.names = append(m.names, name)
 	return nil
 }
 
+// normalizeScores converts raw item dot products in row to cosine
+// similarities against a query of norm qn; zero-norm queries or items
+// score 0. Both recall paths share this one definition — Recall and
+// RecallBatch are pinned to exact agreement by tests.
+func (m *Memory) normalizeScores(row []float64, qn float64) {
+	for i := range row {
+		if qn == 0 || m.norms[i] == 0 {
+			row[i] = 0
+		} else {
+			row[i] /= qn * m.norms[i]
+		}
+	}
+}
+
+// scoreInto writes the cosine similarity of query (with norm qn) against
+// every stored item into dst via the blocked kernel.
+func (m *Memory) scoreInto(query []float64, qn float64, dst []float64) {
+	qv := mat.View(1, m.dim, query)
+	sv := mat.View(1, m.Len(), dst)
+	mat.MulTInto(sv, qv, m.items)
+	m.normalizeScores(dst, qn)
+}
+
 // Recall returns the stored item most similar to the query, its name, and
-// the cosine similarity. An empty memory returns an error.
+// the cosine similarity. An empty memory returns an error. Scores are
+// computed as one kernel pass over the item matrix using a pooled buffer.
 func (m *Memory) Recall(query []float64) (name string, item []float64, sim float64, err error) {
 	if m.Len() == 0 {
 		return "", nil, 0, fmt.Errorf("assoc: recall from empty memory")
@@ -70,16 +100,40 @@ func (m *Memory) Recall(query []float64) (name string, item []float64, sim float
 	if len(query) != m.dim {
 		return "", nil, 0, fmt.Errorf("assoc: query has dimension %d, memory expects %d", len(query), m.dim)
 	}
-	best := 0
-	bestSim := mat.CosineSim(query, m.items.Row(0))
-	for i := 1; i < m.Len(); i++ {
-		if s := mat.CosineSim(query, m.items.Row(i)); s > bestSim {
-			best, bestSim = i, s
-		}
-	}
+	s := mat.GetScratch(m.Len())
+	m.scoreInto(query, mat.Norm2(query), s.Buf)
+	best := mat.ArgMax(s.Buf)
+	bestSim := s.Buf[best]
+	s.Release()
 	out := make([]float64, m.dim)
 	copy(out, m.items.Row(best))
 	return m.names[best], out, bestSim, nil
+}
+
+// RecallBatch resolves every row of queries to its nearest stored item in
+// one blocked GEMM over the whole batch, returning the matched names and
+// similarities row by row.
+func (m *Memory) RecallBatch(queries *mat.Dense) ([]string, []float64, error) {
+	if m.Len() == 0 {
+		return nil, nil, fmt.Errorf("assoc: recall from empty memory")
+	}
+	if queries.Cols != m.dim {
+		return nil, nil, fmt.Errorf("assoc: queries have dimension %d, memory expects %d", queries.Cols, m.dim)
+	}
+	names := make([]string, queries.Rows)
+	sims := make([]float64, queries.Rows)
+	s := mat.GetScratch(queries.Rows * m.Len())
+	scores := mat.View(queries.Rows, m.Len(), s.Buf)
+	mat.MulTIntoFused(scores, queries, m.items, func(i int, row []float64) {
+		m.normalizeScores(row, mat.Norm2(queries.Row(i)))
+	})
+	for i := 0; i < queries.Rows; i++ {
+		best := mat.ArgMax(scores.Row(i))
+		names[i] = m.names[best]
+		sims[i] = scores.Row(i)[best]
+	}
+	s.Release()
+	return names, sims, nil
 }
 
 // RecallAbove behaves like Recall but fails the lookup when the best

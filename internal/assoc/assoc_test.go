@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/hv"
+	"repro/internal/mat"
 	"repro/internal/rng"
 )
 
@@ -179,4 +180,31 @@ func TestNewValidation(t *testing.T) {
 		}
 	}()
 	New(0)
+}
+
+// TestRecallBatchMatchesSingle pins the batched recall to per-query Recall.
+func TestRecallBatchMatchesSingle(t *testing.T) {
+	m, _ := filled(t, "alpha", "beta", "gamma", "delta")
+	r := rng.New(77)
+	queries := mat.New(7, testDim)
+	r.FillNorm(queries.Data, 0, 1)
+	names, sims, err := m.RecallBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < queries.Rows; i++ {
+		name, _, sim, err := m.Recall(queries.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if names[i] != name || sims[i] != sim {
+			t.Fatalf("row %d: batch (%s, %v) != single (%s, %v)", i, names[i], sims[i], name, sim)
+		}
+	}
+	if _, _, err := m.RecallBatch(mat.New(2, testDim-1)); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if _, _, err := New(8).RecallBatch(mat.New(1, 8)); err == nil {
+		t.Fatal("recall from empty memory accepted")
+	}
 }

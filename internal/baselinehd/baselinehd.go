@@ -147,15 +147,40 @@ func (c *Classifier) Predict(x []float64) int {
 	return c.predictEncoded(h)
 }
 
-// PredictBatch classifies every row of X in parallel.
+// signView writes the sign-quantized accumulators into a pooled buffer.
+// Hamming agreement against a bipolar hypervector is exactly the dot
+// product with this view, so batch classification runs on the shared
+// blocked GEMM kernels; every term is ±1, so the sums are exact integers
+// and the kernel result is bitwise identical to the scalar loop.
+func (c *Classifier) signView() (*mat.Dense, *mat.Scratch) {
+	s := mat.GetScratch(c.Acc.Rows * c.Acc.Cols)
+	sv := mat.View(c.Acc.Rows, c.Acc.Cols, s.Buf)
+	for i, v := range c.Acc.Data {
+		if v < 0 {
+			sv.Data[i] = -1
+		} else {
+			sv.Data[i] = 1
+		}
+	}
+	return sv, s
+}
+
+// PredictBatch classifies every row of X via one blocked GEMM against the
+// sign-quantized class hypervectors.
 func (c *Classifier) PredictBatch(X *mat.Dense) []int {
 	H := c.Enc.EncodeBatch(X)
 	out := make([]int, H.Rows)
+	sv, svS := c.signView()
+	scoreS := mat.GetScratch(H.Rows * c.Acc.Rows)
+	scores := mat.View(H.Rows, c.Acc.Rows, scoreS.Buf)
+	mat.MulTInto(scores, H, sv)
 	mat.ParallelFor(H.Rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			out[i] = c.predictEncoded(H.Row(i))
+			out[i] = mat.ArgMax(scores.Row(i))
 		}
 	})
+	scoreS.Release()
+	svS.Release()
 	return out
 }
 
@@ -181,19 +206,21 @@ func (c *Classifier) TopKAccuracy(X *mat.Dense, y []int, k int) float64 {
 	if H.Rows == 0 {
 		return 0
 	}
+	sv, svS := c.signView()
+	scoreS := mat.GetScratch(H.Rows * c.Acc.Rows)
+	scores := mat.View(H.Rows, c.Acc.Rows, scoreS.Buf)
+	mat.MulTInto(scores, H, sv)
 	correct := 0
-	scores := make([]float64, c.Acc.Rows)
 	for i := 0; i < H.Rows; i++ {
-		for l := 0; l < c.Acc.Rows; l++ {
-			scores[l] = hammingAgreement(c.Acc.Row(l), H.Row(i))
-		}
-		for _, l := range mat.ArgTopK(scores, k) {
+		for _, l := range mat.ArgTopK(scores.Row(i), k) {
 			if l == y[i] {
 				correct++
 				break
 			}
 		}
 	}
+	scoreS.Release()
+	svS.Release()
 	return float64(correct) / float64(H.Rows)
 }
 

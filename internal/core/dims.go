@@ -93,16 +93,60 @@ func IdentifyUndesired(H *mat.Dense, y []int, m *model.Model, cfg *Config) DimSt
 		signVec(normClasses.Row(c))
 	}
 
-	scores := make([]float64, k)
+	// Batched similarity: blocked GEMMs over row tiles (pooled buffer)
+	// instead of N independent score loops. Tiling bounds peak scratch at
+	// scoreTile×k however large the training set grows; the tile height is
+	// a multiple of the kernel row block, so results are bitwise identical
+	// to scoring the whole batch at once.
+	tileRows := H.Rows
+	if tileRows > scoreTile {
+		tileRows = scoreTile
+	}
+	scoreS := mat.GetScratch(tileRows * k)
+	defer scoreS.Release()
+
 	hn := make([]float64, d)
 	distTrue := make([]float64, d)
 	distTop1 := make([]float64, d)
 	distTop2 := make([]float64, d)
 
-	for i := 0; i < H.Rows; i++ {
+	for t0 := 0; t0 < H.Rows; t0 += scoreTile {
+		t1 := t0 + scoreTile
+		if t1 > H.Rows {
+			t1 = H.Rows
+		}
+		Ht := mat.View(t1-t0, d, H.Data[t0*d:t1*d])
+		scores := mat.View(t1-t0, k, scoreS.Buf[:(t1-t0)*k])
+		m.ScoreBatchInto(Ht, scores)
+		identifyTile(H, y, t0, t1, scores, cfg, &stats, &mRows, &nRows,
+			normClasses, hn, distTrue, distTop1, distTop2)
+	}
+
+	budget := regenBudget(d, cfg.RegenRate)
+	if budget == 0 {
+		return stats
+	}
+
+	colM := columnScores(mRows)
+	colN := columnScores(nRows)
+	stats.Undesired = selectUndesired(colM, colN, saliencyFill(m), budget)
+	return stats
+}
+
+// scoreTile is the row-tile height for Algorithm 2's batched scoring: large
+// enough to amortize the GEMM, small enough to bound scratch memory, and a
+// multiple of the kernel row block so tiling never changes results.
+const scoreTile = 4096
+
+// identifyTile buckets rows [t0, t1) by their top-2 outcome and appends the
+// per-sample distance rows of Algorithm 2's M and N matrices.
+func identifyTile(H *mat.Dense, y []int, t0, t1 int, scores *mat.Dense, cfg *Config,
+	stats *DimStats, mRows, nRows *[][]float64, normClasses *mat.Dense,
+	hn, distTrue, distTop1, distTop2 []float64) {
+	d := H.Cols
+	for i := t0; i < t1; i++ {
 		h := H.Row(i)
-		m.Scores(h, scores)
-		outcome, i1, i2 := Top2Outcome(scores, y[i])
+		outcome, i1, i2 := Top2Outcome(scores.Row(i-t0), y[i])
 
 		if outcome == Correct {
 			stats.NumCorrect++
@@ -124,7 +168,7 @@ func IdentifyUndesired(H *mat.Dense, y []int, m *model.Model, cfg *Config) DimSt
 			for j := 0; j < d; j++ {
 				row[j] = cfg.Alpha*distTrue[j] - cfg.Beta*distTop1[j]
 			}
-			mRows = append(mRows, row)
+			*mRows = append(*mRows, row)
 
 		case Incorrect:
 			stats.NumIncorrect++
@@ -145,19 +189,9 @@ func IdentifyUndesired(H *mat.Dense, y []int, m *model.Model, cfg *Config) DimSt
 					row[j] = cfg.Alpha*distTrue[j] - cfg.Beta*distTop1[j] - cfg.Theta*distTop2[j]
 				}
 			}
-			nRows = append(nRows, row)
+			*nRows = append(*nRows, row)
 		}
 	}
-
-	budget := regenBudget(d, cfg.RegenRate)
-	if budget == 0 {
-		return stats
-	}
-
-	colM := columnScores(mRows)
-	colN := columnScores(nRows)
-	stats.Undesired = selectUndesired(colM, colN, saliencyFill(m), budget)
-	return stats
 }
 
 // signVec replaces every component with its sign (zero counts positive,
@@ -185,20 +219,24 @@ func regenBudget(d int, rate float64) int {
 }
 
 // columnScores normalizes each row to unit L2 norm and sums column-wise
-// (Algorithm 2 lines 13–14). Returns nil for an empty matrix.
+// (Algorithm 2 lines 13–14) — the column reduction on the training path,
+// run as a deterministic chunked parallel reduction with the row
+// normalization fused into the accumulate pass. Returns nil for an empty
+// matrix.
 func columnScores(rows [][]float64) []float64 {
 	if len(rows) == 0 {
 		return nil
 	}
 	d := len(rows[0])
-	colSum := make([]float64, d)
-	for _, row := range rows {
-		mat.Normalize(row)
-		for j, v := range row {
-			colSum[j] += v
+	return mat.ChunkedColReduce(len(rows), d, make([]float64, d), func(c int, p []float64) {
+		lo, hi := mat.ChunkSpan(c, len(rows))
+		for _, row := range rows[lo:hi] {
+			mat.Normalize(row)
+			for j, v := range row {
+				p[j] += v
+			}
 		}
-	}
-	return colSum
+	})
 }
 
 // selectUndesired picks up to `budget` dimensions. Dimensions indicted by

@@ -87,12 +87,18 @@ func Train(enc encoding.Regenerable, X *mat.Dense, y []int, classes int, cfg Con
 	regenStall := 0
 	regenFrozen := false
 
+	// One Trainer across all iterations: the shuffle order, score scratch,
+	// and RNG are reused, so the steady-state train/regenerate loop
+	// allocates nothing beyond Algorithm 2's per-iteration bookkeeping.
+	trainer := model.NewTrainer(m, cfg.Seed)
+
 	for iter := 0; iter < cfg.Iterations; iter++ {
-		res, err := model.Fit(m, H, y, cfg.trainConfig(iter))
-		if err != nil {
-			return nil, nil, err
+		tc := cfg.trainConfig(iter)
+		trainer.Reseed(tc.Seed)
+		var acc float64
+		for e := 0; e < tc.Epochs; e++ {
+			acc = trainer.Epoch(H, y, tc.LearningRate)
 		}
-		acc := res.History[len(res.History)-1]
 		is := IterStats{Iter: iter, TrainAcc: acc}
 
 		// Early-stopping bookkeeping happens before regeneration so a
@@ -134,7 +140,7 @@ func Train(enc encoding.Regenerable, X *mat.Dense, y []int, classes int, cfg Con
 			is.NumIncorrect = ds.NumIncorrect
 			if len(ds.Undesired) > 0 {
 				enc.Regenerate(ds.Undesired)
-				refreshColumns(enc, X, H, ds.Undesired)
+				enc.EncodeDimsBatch(X, ds.Undesired, H)
 				m.ZeroDims(ds.Undesired)
 				if cfg.WarmStart {
 					warmStartDims(m, H, y, ds.Undesired)
@@ -179,21 +185,6 @@ func warmStartDims(m *model.Model, H *mat.Dense, y []int, dims []int) {
 		}
 	}
 	m.RefreshNorms()
-}
-
-// refreshColumns recomputes the regenerated columns of H from the raw
-// features, in parallel over rows.
-func refreshColumns(enc encoding.Regenerable, X, H *mat.Dense, dims []int) {
-	mat.ParallelFor(X.Rows, func(lo, hi int) {
-		buf := make([]float64, len(dims))
-		for i := lo; i < hi; i++ {
-			enc.EncodeDims(X.Row(i), dims, buf)
-			row := H.Row(i)
-			for j, d := range dims {
-				row[d] = buf[j]
-			}
-		}
-	})
 }
 
 // Update performs one online adaptive-learning step (Algorithm 1) on a

@@ -11,10 +11,16 @@
 //   - IDLevel: the record-based ID×Level binding encoder common in the HDC
 //     literature, included for completeness and the examples.
 //
+// Batch encoding is one blocked GEMM (X·Bᵀ via mat.MulTIntoFused) with the
+// encoder nonlinearity fused onto each output row while it is cache-hot,
+// rather than N independent matrix-vector loops; the single-sample paths
+// run through the same kernels, so batch and single encodes agree bitwise.
+//
 // RBF and Linear implement Regenerable: DistHD and NeuralHD call
 // Regenerate(dims) to replace the base hypervector (and phase) of selected
 // dimensions with fresh random draws, which is the paper's neural
-// regeneration mechanism.
+// regeneration mechanism, then patch the regenerated columns of the
+// already-encoded training batch in place with EncodeDimsBatch.
 package encoding
 
 import (
@@ -36,6 +42,9 @@ type Encoder interface {
 	Encode(x, dst []float64)
 	// EncodeBatch encodes every row of X into a new N×D matrix.
 	EncodeBatch(X *mat.Dense) *mat.Dense
+	// EncodeBatchInto encodes every row of X into dst (N×D) and returns
+	// dst, allocating nothing for the result itself.
+	EncodeBatchInto(X, dst *mat.Dense) *mat.Dense
 }
 
 // Regenerable is an Encoder whose individual dimensions can be re-drawn.
@@ -48,34 +57,112 @@ type Regenerable interface {
 	Regenerate(dims []int)
 	// EncodeDims writes the encoding of x restricted to the listed
 	// dimensions: dst[j] receives the value of output dimension dims[j].
-	// This lets the DistHD training loop refresh only the regenerated
-	// columns of an already-encoded batch instead of re-encoding
-	// everything — the paper's "highly parallel matrix-wise" retraining
-	// relies on this being cheap.
 	EncodeDims(x []float64, dims []int, dst []float64)
+	// EncodeDimsBatch recomputes the listed output dimensions for every
+	// row of X, patching column dims[j] of the already-encoded matrix H in
+	// place. This is the DistHD cheap-retrain path: after Regenerate, only
+	// the regenerated columns of the training batch are recomputed — as
+	// one compact blocked GEMM over the gathered base rows — instead of
+	// re-encoding everything. Values match EncodeDims bitwise.
+	EncodeDimsBatch(X *mat.Dense, dims []int, H *mat.Dense)
 }
 
-// batchEncode implements EncodeBatch for any Encoder, sharding rows across
-// CPUs. Encoders embed this via the free function.
-func batchEncode(e Encoder, X *mat.Dense) *mat.Dense {
+// checkBatch validates a batch encode request, returning the shared shape.
+func checkBatch(e Encoder, X, dst *mat.Dense) {
 	if X.Cols != e.Features() {
 		panic(fmt.Sprintf("encoding: batch has %d features, encoder expects %d", X.Cols, e.Features()))
 	}
-	out := mat.New(X.Rows, e.Dim())
+	if dst.Rows != X.Rows || dst.Cols != e.Dim() {
+		panic(fmt.Sprintf("encoding: batch dst is %dx%d, want %dx%d", dst.Rows, dst.Cols, X.Rows, e.Dim()))
+	}
+}
+
+// batchEncodeInto implements EncodeBatchInto for encoders without a fused
+// kernel path (IDLevel), sharding per-sample Encode calls across CPUs.
+func batchEncodeInto(e Encoder, X, dst *mat.Dense) *mat.Dense {
+	checkBatch(e, X, dst)
 	mat.ParallelFor(X.Rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			e.Encode(X.Row(i), out.Row(i))
+			e.Encode(X.Row(i), dst.Row(i))
 		}
 	})
-	return out
+	return dst
+}
+
+// checkDimsBatch validates an EncodeDimsBatch request.
+func checkDimsBatch(e Encoder, X *mat.Dense, dims []int, H *mat.Dense) {
+	if X.Cols != e.Features() {
+		panic(fmt.Sprintf("encoding: batch has %d features, encoder expects %d", X.Cols, e.Features()))
+	}
+	if H.Rows != X.Rows || H.Cols != e.Dim() {
+		panic(fmt.Sprintf("encoding: encoded batch is %dx%d, want %dx%d", H.Rows, H.Cols, X.Rows, e.Dim()))
+	}
+	for _, d := range dims {
+		if d < 0 || d >= e.Dim() {
+			panic(fmt.Sprintf("encoding: EncodeDimsBatch dim %d out of [0,%d)", d, e.Dim()))
+		}
+	}
+}
+
+// dimsTile is the row-tile height of encodeDimsBatch: it bounds the
+// pooled projection buffer at dimsTile×len(dims) however large the
+// training set grows, and is a multiple of the kernel row block so tiling
+// never changes results (each output element is row-independent).
+const dimsTile = 4096
+
+// encodeDimsBatch is the shared scaffolding behind both EncodeDimsBatch
+// implementations: the base rows of the listed dims are gathered into a
+// compact panel, projected against row tiles of X as blocked GEMMs in
+// pooled buffers, and apply maps each projection to its final value while
+// scattering into H's columns.
+func encodeDimsBatch(base, X *mat.Dense, dims []int, H *mat.Dense, apply func(d int, z float64) float64) {
+	if len(dims) == 0 || X.Rows == 0 {
+		return
+	}
+	q := base.Cols
+	r := len(dims)
+	tileRows := X.Rows
+	if tileRows > dimsTile {
+		tileRows = dimsTile
+	}
+	subS := mat.GetScratch(r * q)
+	zS := mat.GetScratch(tileRows * r)
+	sub := mat.View(r, q, subS.Buf)
+	for j, d := range dims {
+		copy(sub.Row(j), base.Row(d))
+	}
+	for t0 := 0; t0 < X.Rows; t0 += dimsTile {
+		t1 := t0 + dimsTile
+		if t1 > X.Rows {
+			t1 = X.Rows
+		}
+		Xt := mat.View(t1-t0, q, X.Data[t0*q:t1*q])
+		z := mat.View(t1-t0, r, zS.Buf[:(t1-t0)*r])
+		mat.MulTIntoFused(z, Xt, sub, func(i int, zrow []float64) {
+			hrow := H.Row(t0 + i)
+			for j, d := range dims {
+				hrow[d] = apply(d, zrow[j])
+			}
+		})
+	}
+	zS.Release()
+	subS.Release()
 }
 
 // RBF is the paper's nonlinear regenerable encoder.
 type RBF struct {
 	base  *mat.Dense // D×q Gaussian base vectors, one per output dimension
 	phase []float64  // D phases c_d ~ U[0, 2π)
-	sigma float64    // per-component std of base draws (kernel bandwidth)
-	regen *rng.Rand  // stream that feeds regeneration draws
+	// cosPhase/sinPhase cache cos(c_d) and sin(c_d) so the nonlinearity
+	// cos(z+c)·sin(z) expands to (cos z·cos c − sin z·sin c)·sin z and
+	// needs a single math.Sincos per element instead of two trig calls of
+	// unrelated angles.
+	cosPhase, sinPhase []float64
+	sigma              float64   // per-component std of base draws (kernel bandwidth)
+	regen              *rng.Rand // stream that feeds regeneration draws
+	// post is the fused-GEMM epilogue (nonlinearRow bound to this encoder),
+	// built once at construction so batch encodes allocate nothing.
+	post func(i int, row []float64)
 }
 
 // NewRBF builds an RBF encoder for q input features and D output
@@ -104,14 +191,31 @@ func NewRBFWithBandwidth(q, d int, sigma float64, seed uint64) *RBF {
 	root := rng.New(seed)
 	init := root.Split()
 	e := &RBF{
-		base:  mat.New(d, q),
-		phase: make([]float64, d),
-		sigma: sigma,
-		regen: root.Split(),
+		base:     mat.New(d, q),
+		phase:    make([]float64, d),
+		cosPhase: make([]float64, d),
+		sinPhase: make([]float64, d),
+		sigma:    sigma,
+		regen:    root.Split(),
 	}
 	init.FillNorm(e.base.Data, 0, sigma)
 	init.FillUniform(e.phase, 0, 2*math.Pi)
+	return e.finish()
+}
+
+// finish completes construction shared by every RBF constructor: the
+// phase trig caches and the fused-GEMM epilogue bound to this encoder.
+func (e *RBF) finish() *RBF {
+	e.refreshPhaseCache()
+	e.post = func(_ int, row []float64) { e.nonlinearRow(row) }
 	return e
+}
+
+// refreshPhaseCache recomputes the cached cos/sin of every phase.
+func (e *RBF) refreshPhaseCache() {
+	for d, c := range e.phase {
+		e.sinPhase[d], e.cosPhase[d] = math.Sincos(c)
+	}
 }
 
 // Dim returns the hypervector dimensionality.
@@ -120,19 +224,49 @@ func (e *RBF) Dim() int { return e.base.Rows }
 // Features returns the expected input width.
 func (e *RBF) Features() int { return e.base.Cols }
 
+// activate maps one projection z to output dimension d's value,
+// cos(z + c_d)·sin(z), expanded against the cached phase trig. Every RBF
+// encode path (nonlinearRow, EncodeDims, EncodeDimsBatch) must go through
+// this single definition: the bitwise equivalence between batch encoding
+// and the regeneration patch path depends on the formula never diverging.
+func (e *RBF) activate(d int, z float64) float64 {
+	sz, cz := math.Sincos(z)
+	return (cz*e.cosPhase[d] - sz*e.sinPhase[d]) * sz
+}
+
+// nonlinearRow maps the full-width projection row z to
+// cos(z_d + c_d)·sin(z_d) in place.
+func (e *RBF) nonlinearRow(row []float64) {
+	for d, z := range row {
+		row[d] = e.activate(d, z)
+	}
+}
+
 // Encode computes h_d = cos(B_d·x + c_d) · sin(B_d·x) for every dimension.
+// It runs through the same blocked kernels as EncodeBatch, so single and
+// batch encodes of the same input agree bitwise.
 func (e *RBF) Encode(x, dst []float64) {
 	if len(x) != e.Features() || len(dst) != e.Dim() {
 		panic("encoding: RBF.Encode size mismatch")
 	}
-	for d := 0; d < e.Dim(); d++ {
-		dot := mat.Dot(e.base.Row(d), x)
-		dst[d] = math.Cos(dot+e.phase[d]) * math.Sin(dot)
-	}
+	xm := mat.View(1, len(x), x)
+	dm := mat.View(1, len(dst), dst)
+	mat.MulTInto(dm, xm, e.base)
+	e.nonlinearRow(dst)
 }
 
-// EncodeBatch encodes every row of X in parallel.
-func (e *RBF) EncodeBatch(X *mat.Dense) *mat.Dense { return batchEncode(e, X) }
+// EncodeBatch encodes every row of X into a new N×D matrix.
+func (e *RBF) EncodeBatch(X *mat.Dense) *mat.Dense {
+	return e.EncodeBatchInto(X, mat.New(X.Rows, e.Dim()))
+}
+
+// EncodeBatchInto encodes every row of X into dst: one blocked GEMM
+// (X·Bᵀ) with the cos·sin nonlinearity fused onto each completed row.
+// With a caller-owned dst the steady-state path allocates nothing.
+func (e *RBF) EncodeBatchInto(X, dst *mat.Dense) *mat.Dense {
+	checkBatch(e, X, dst)
+	return mat.MulTIntoFused(dst, X, e.base, e.post)
+}
 
 // Regenerate redraws the Gaussian base vector and phase of each listed
 // dimension, implementing the paper's dimension regeneration (step P).
@@ -143,18 +277,29 @@ func (e *RBF) Regenerate(dims []int) {
 		}
 		e.regen.FillNorm(e.base.Row(d), 0, e.sigma)
 		e.phase[d] = e.regen.Uniform(0, 2*math.Pi)
+		e.sinPhase[d], e.cosPhase[d] = math.Sincos(e.phase[d])
 	}
 }
 
-// EncodeDims computes only the listed output dimensions of x.
+// EncodeDims computes only the listed output dimensions of x. PanelDot
+// reproduces the blocked kernel's accumulation order, so values match
+// Encode bitwise.
 func (e *RBF) EncodeDims(x []float64, dims []int, dst []float64) {
 	if len(x) != e.Features() || len(dst) != len(dims) {
 		panic("encoding: RBF.EncodeDims size mismatch")
 	}
 	for j, d := range dims {
-		dot := mat.Dot(e.base.Row(d), x)
-		dst[j] = math.Cos(dot+e.phase[d]) * math.Sin(dot)
+		dst[j] = e.activate(d, mat.PanelDot(e.base.Row(d), x))
 	}
+}
+
+// EncodeDimsBatch patches the regenerated columns of H in place via the
+// shared gather/GEMM/scatter scaffolding (see encodeDimsBatch); buffers
+// come from the scratch pool, so the steady-state retrain loop allocates
+// almost nothing.
+func (e *RBF) EncodeDimsBatch(X *mat.Dense, dims []int, H *mat.Dense) {
+	checkDimsBatch(e, X, dims, H)
+	encodeDimsBatch(e.base, X, dims, H, e.activate)
 }
 
 // Params exposes the encoder's defining parameters for serialization:
@@ -176,12 +321,15 @@ func NewRBFFromParams(base *mat.Dense, phase []float64, sigma float64, regenSeed
 	}
 	ph := make([]float64, len(phase))
 	copy(ph, phase)
-	return &RBF{
-		base:  base.Clone(),
-		phase: ph,
-		sigma: sigma,
-		regen: rng.New(regenSeed),
-	}, nil
+	e := &RBF{
+		base:     base.Clone(),
+		phase:    ph,
+		cosPhase: make([]float64, len(phase)),
+		sinPhase: make([]float64, len(phase)),
+		sigma:    sigma,
+		regen:    rng.New(regenSeed),
+	}
+	return e.finish(), nil
 }
 
 func baseRows(b *mat.Dense) int {
@@ -222,26 +370,49 @@ func (e *Linear) Dim() int { return e.base.Rows }
 // Features returns the expected input width.
 func (e *Linear) Features() int { return e.base.Cols }
 
+// signRow sign-quantizes row in place (zero counts positive).
+func signRow(row []float64) {
+	for i, v := range row {
+		if v < 0 {
+			row[i] = -1
+		} else {
+			row[i] = 1
+		}
+	}
+}
+
+// signPost is signRow as a capture-free fused-GEMM epilogue; referencing it
+// never allocates.
+func signPost(_ int, row []float64) { signRow(row) }
+
 // Encode projects x through the Gaussian base, sign-quantizing if bipolar.
+// Runs through the same blocked kernels as EncodeBatch (bitwise agreement).
 func (e *Linear) Encode(x, dst []float64) {
 	if len(x) != e.Features() || len(dst) != e.Dim() {
 		panic("encoding: Linear.Encode size mismatch")
 	}
-	for d := 0; d < e.Dim(); d++ {
-		v := mat.Dot(e.base.Row(d), x)
-		if e.bipolar {
-			if v < 0 {
-				v = -1
-			} else {
-				v = 1
-			}
-		}
-		dst[d] = v
+	xm := mat.View(1, len(x), x)
+	dm := mat.View(1, len(dst), dst)
+	mat.MulTInto(dm, xm, e.base)
+	if e.bipolar {
+		signRow(dst)
 	}
 }
 
-// EncodeBatch encodes every row of X in parallel.
-func (e *Linear) EncodeBatch(X *mat.Dense) *mat.Dense { return batchEncode(e, X) }
+// EncodeBatch encodes every row of X into a new N×D matrix.
+func (e *Linear) EncodeBatch(X *mat.Dense) *mat.Dense {
+	return e.EncodeBatchInto(X, mat.New(X.Rows, e.Dim()))
+}
+
+// EncodeBatchInto encodes every row of X into dst as one blocked GEMM,
+// with sign quantization fused onto each completed row when bipolar.
+func (e *Linear) EncodeBatchInto(X, dst *mat.Dense) *mat.Dense {
+	checkBatch(e, X, dst)
+	if !e.bipolar {
+		return mat.MulTInto(dst, X, e.base)
+	}
+	return mat.MulTIntoFused(dst, X, e.base, signPost)
+}
 
 // Regenerate redraws the base vectors of the listed dimensions.
 func (e *Linear) Regenerate(dims []int) {
@@ -253,13 +424,14 @@ func (e *Linear) Regenerate(dims []int) {
 	}
 }
 
-// EncodeDims computes only the listed output dimensions of x.
+// EncodeDims computes only the listed output dimensions of x, bitwise
+// consistent with Encode (see RBF.EncodeDims).
 func (e *Linear) EncodeDims(x []float64, dims []int, dst []float64) {
 	if len(x) != e.Features() || len(dst) != len(dims) {
 		panic("encoding: Linear.EncodeDims size mismatch")
 	}
 	for j, d := range dims {
-		v := mat.Dot(e.base.Row(d), x)
+		v := mat.PanelDot(e.base.Row(d), x)
 		if e.bipolar {
 			if v < 0 {
 				v = -1
@@ -269,6 +441,21 @@ func (e *Linear) EncodeDims(x []float64, dims []int, dst []float64) {
 		}
 		dst[j] = v
 	}
+}
+
+// EncodeDimsBatch patches the listed columns of H in place via the shared
+// gather/GEMM/scatter scaffolding (see encodeDimsBatch).
+func (e *Linear) EncodeDimsBatch(X *mat.Dense, dims []int, H *mat.Dense) {
+	checkDimsBatch(e, X, dims, H)
+	encodeDimsBatch(e.base, X, dims, H, func(_ int, z float64) float64 {
+		if e.bipolar {
+			if z < 0 {
+				return -1
+			}
+			return 1
+		}
+		return z
+	})
 }
 
 // Interface conformance checks.

@@ -427,3 +427,56 @@ func TestEncodeSizeMismatchPanics(t *testing.T) {
 		}()
 	}
 }
+
+// TestEncodeDimsBatchMatchesEncodeDims pins the batched column-patching
+// path to the per-sample EncodeDims reference bitwise, for both regenerable
+// encoder families and across a regeneration.
+func TestEncodeDimsBatchMatchesEncodeDims(t *testing.T) {
+	for _, mk := range []func() Regenerable{
+		func() Regenerable { return NewRBF(7, 40, 3) },
+		func() Regenerable { return NewLinear(7, 40, true, 3) },
+		func() Regenerable { return NewLinear(7, 40, false, 3) },
+	} {
+		e := mk()
+		X := mat.New(9, 7)
+		rng.New(21).FillNorm(X.Data, 0, 1)
+		H := e.EncodeBatch(X)
+		dims := []int{0, 5, 39, 17, 8}
+		e.Regenerate(dims)
+		e.EncodeDimsBatch(X, dims, H)
+
+		buf := make([]float64, len(dims))
+		full := make([]float64, e.Dim())
+		for i := 0; i < X.Rows; i++ {
+			e.EncodeDims(X.Row(i), dims, buf)
+			for j, d := range dims {
+				if H.At(i, d) != buf[j] {
+					t.Fatalf("row %d dim %d: batch %v != single %v", i, d, H.At(i, d), buf[j])
+				}
+			}
+			// Untouched columns must be exactly the original batch encode,
+			// and touched columns must equal a fresh full encode.
+			e.Encode(X.Row(i), full)
+			for _, d := range dims {
+				if H.At(i, d) != full[d] {
+					t.Fatalf("row %d dim %d: patched %v != full re-encode %v", i, d, H.At(i, d), full[d])
+				}
+			}
+		}
+	}
+}
+
+// TestEncodeDimsBatchEmptyDims checks the no-op path.
+func TestEncodeDimsBatchEmptyDims(t *testing.T) {
+	e := NewRBF(4, 16, 1)
+	X := mat.New(3, 4)
+	rng.New(2).FillNorm(X.Data, 0, 1)
+	H := e.EncodeBatch(X)
+	before := H.Clone()
+	e.EncodeDimsBatch(X, nil, H)
+	for i, v := range H.Data {
+		if v != before.Data[i] {
+			t.Fatal("EncodeDimsBatch with no dims modified H")
+		}
+	}
+}

@@ -105,6 +105,13 @@ func (e *IDLevel) Encode(x, dst []float64) {
 }
 
 // EncodeBatch encodes every row of X in parallel.
-func (e *IDLevel) EncodeBatch(X *mat.Dense) *mat.Dense { return batchEncode(e, X) }
+func (e *IDLevel) EncodeBatch(X *mat.Dense) *mat.Dense {
+	return e.EncodeBatchInto(X, mat.New(X.Rows, e.Dim()))
+}
+
+// EncodeBatchInto encodes every row of X into dst in parallel.
+func (e *IDLevel) EncodeBatchInto(X, dst *mat.Dense) *mat.Dense {
+	return batchEncodeInto(e, X, dst)
+}
 
 var _ Encoder = (*IDLevel)(nil)

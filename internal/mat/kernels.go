@@ -1,0 +1,327 @@
+package mat
+
+import "fmt"
+
+// This file holds the cache-blocked, register-tiled matrix kernels. The
+// destination-passing variants (MulTInto, MulInto) are the primitives; MulT
+// and Mul are thin allocating wrappers kept for convenience.
+//
+// Blocking parameters are sized for a ~48 KiB L1d / ~2 MiB L2 cache:
+//
+//   - kernelKC columns per shared-dimension panel: a 4-row B tile of one
+//     panel is 4·kernelKC·8 B = 32 KiB, which stays L1-resident while the
+//     micro-kernel sweeps the A rows of the current block over it.
+//   - kernelMR rows of A per block: the panel of A rows cycles through L1
+//     but remains L2-resident across all B tiles of the block, so B is
+//     streamed from memory only once per kernelMR rows of output.
+//
+// Within a block the micro-kernels compute a 2×4 (or 1×4, DotBatch) tile of
+// C per pass, amortizing each A load over four B rows and keeping eight
+// independent accumulator chains in flight.
+const (
+	kernelKC = 1024
+	kernelMR = 8
+	kernelNR = 4
+)
+
+// DotBatch computes the four inner products of a with b0..b3 in a single
+// pass over a — the 4-wide micro-kernel behind MulTInto. All five slices
+// must have equal length.
+func DotBatch(a, b0, b1, b2, b3 []float64) (s0, s1, s2, s3 float64) {
+	n := len(a)
+	if len(b0) != n || len(b1) != n || len(b2) != n || len(b3) != n {
+		panic("mat: DotBatch length mismatch")
+	}
+	b0, b1, b2, b3 = b0[:n], b1[:n], b2[:n], b3[:n]
+	for i, av := range a {
+		s0 += av * b0[i]
+		s1 += av * b1[i]
+		s2 += av * b2[i]
+		s3 += av * b3[i]
+	}
+	return s0, s1, s2, s3
+}
+
+// dot2x4 is the 2×4 register tile: two A rows against four B rows, eight
+// accumulators, six loads per eight multiply-adds. Lengths must match
+// (callers slice to the current panel).
+func dot2x4(a0, a1, b0, b1, b2, b3 []float64) (r00, r01, r02, r03, r10, r11, r12, r13 float64) {
+	n := len(a0)
+	a1, b0, b1, b2, b3 = a1[:n], b0[:n], b1[:n], b2[:n], b3[:n]
+	i := 0
+	for ; i+2 <= n; i += 2 {
+		a0v, a1v := a0[i], a1[i]
+		b0v, b1v, b2v, b3v := b0[i], b1[i], b2[i], b3[i]
+		r00 += a0v * b0v
+		r01 += a0v * b1v
+		r02 += a0v * b2v
+		r03 += a0v * b3v
+		r10 += a1v * b0v
+		r11 += a1v * b1v
+		r12 += a1v * b2v
+		r13 += a1v * b3v
+		a0v, a1v = a0[i+1], a1[i+1]
+		b0v, b1v, b2v, b3v = b0[i+1], b1[i+1], b2[i+1], b3[i+1]
+		r00 += a0v * b0v
+		r01 += a0v * b1v
+		r02 += a0v * b2v
+		r03 += a0v * b3v
+		r10 += a1v * b0v
+		r11 += a1v * b1v
+		r12 += a1v * b2v
+		r13 += a1v * b3v
+	}
+	if i < n {
+		a0v, a1v := a0[i], a1[i]
+		b0v, b1v, b2v, b3v := b0[i], b1[i], b2[i], b3[i]
+		r00 += a0v * b0v
+		r01 += a0v * b1v
+		r02 += a0v * b2v
+		r03 += a0v * b3v
+		r10 += a1v * b0v
+		r11 += a1v * b1v
+		r12 += a1v * b2v
+		r13 += a1v * b3v
+	}
+	return
+}
+
+// seqDot is the strictly sequential inner product: one accumulator, in
+// index order. All MulTInto micro-kernel lanes accumulate in exactly this
+// order, which is what makes PanelDot able to reproduce blocked results
+// bitwise for a single element.
+func seqDot(a, b []float64) float64 {
+	b = b[:len(a)]
+	var s float64
+	for i, av := range a {
+		s += av * b[i]
+	}
+	return s
+}
+
+// seqDot2 computes two sequential-order inner products sharing b: two
+// independent accumulator chains, each in strict index order.
+func seqDot2(a0, a1, b []float64) (s0, s1 float64) {
+	n := len(a0)
+	a1, b = a1[:n], b[:n]
+	for i, av := range a0 {
+		bv := b[i]
+		s0 += av * bv
+		s1 += a1[i] * bv
+	}
+	return s0, s1
+}
+
+// PanelDot returns the inner product of a and b accumulated in the same
+// panel-wise, strictly sequential order as the MulTInto micro-kernels:
+// kernelKC-column panels summed left to right, sequentially within each
+// panel. Use it to recompute a single element of a blocked product (e.g.
+// one regenerated encoder dimension) bitwise-identically to the batch
+// kernel. For plain dot products prefer Dot, which is faster.
+func PanelDot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mat: PanelDot length mismatch")
+	}
+	var s float64
+	for k0 := 0; k0 < len(a); k0 += kernelKC {
+		k1 := k0 + kernelKC
+		if k1 > len(a) {
+			k1 = len(a)
+		}
+		s += seqDot(a[k0:k1], b[k0:k1])
+	}
+	return s
+}
+
+// MulTInto computes C = A · Bᵀ into dst, where A is n×q and B is d×q and
+// dst is n×d. This is the layout of both HDC hot paths: encoding (rows of B
+// are base hypervectors) and batched similarity (rows of B are class
+// hypervectors). dst must not alias A or B. It returns dst.
+//
+// Row blocks are distributed across the worker pool; within a block the
+// kernel is cache-blocked over the shared dimension and register-tiled 2×4,
+// so results are bitwise deterministic regardless of scheduling (each output
+// element is accumulated in a fixed panel order by exactly one goroutine,
+// reproducible element-wise by PanelDot).
+func MulTInto(dst, a, b *Dense) *Dense {
+	return MulTIntoFused(dst, a, b, nil)
+}
+
+// MulTIntoFused is MulTInto with an optional elementwise epilogue: after a
+// row of the product is complete, post(i, dst.Row(i)) runs while the row is
+// still cache-hot. This is how batch encoding fuses its nonlinearity onto
+// the GEMM instead of making a second pass over the (much larger than L2)
+// output. post must be safe to call concurrently for different rows; a nil
+// post is a plain product.
+func MulTIntoFused(dst, a, b *Dense, post func(i int, row []float64)) *Dense {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulTInto inner dimension mismatch %d vs %d", a.Cols, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: MulTInto dst is %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
+	}
+	if a.Cols == 0 {
+		dst.Fill(0)
+		if post != nil {
+			for i := 0; i < dst.Rows; i++ {
+				post(i, dst.Row(i))
+			}
+		}
+		return dst
+	}
+	blocks := (a.Rows + kernelMR - 1) / kernelMR
+	if Serial() || blocks == 1 {
+		// Skip the shard closure entirely: zero allocations.
+		mulTBlocks(dst, a, b, post, 0, blocks)
+		return dst
+	}
+	ParallelFor(blocks, func(lo, hi int) {
+		mulTBlocks(dst, a, b, post, lo, hi)
+	})
+	return dst
+}
+
+// mulTBlocks processes row blocks [lo, hi) of the blocked product,
+// applying the optional epilogue to each completed row.
+func mulTBlocks(dst, a, b *Dense, post func(i int, row []float64), lo, hi int) {
+	for blk := lo; blk < hi; blk++ {
+		i0 := blk * kernelMR
+		i1 := i0 + kernelMR
+		if i1 > a.Rows {
+			i1 = a.Rows
+		}
+		mulTBlock(dst, a, b, i0, i1)
+		if post != nil {
+			for i := i0; i < i1; i++ {
+				post(i, dst.Row(i))
+			}
+		}
+	}
+}
+
+// mulTBlock computes output rows [i0, i1) of dst = A·Bᵀ with panel blocking
+// over the shared dimension and 2×4 register tiling.
+func mulTBlock(dst, a, b *Dense, i0, i1 int) {
+	q := a.Cols
+	d := b.Rows
+	for k0 := 0; k0 < q; k0 += kernelKC {
+		k1 := k0 + kernelKC
+		if k1 > q {
+			k1 = q
+		}
+		first := k0 == 0
+		j := 0
+		for ; j+kernelNR <= d; j += kernelNR {
+			b0 := b.Row(j)[k0:k1]
+			b1 := b.Row(j + 1)[k0:k1]
+			b2 := b.Row(j + 2)[k0:k1]
+			b3 := b.Row(j + 3)[k0:k1]
+			i := i0
+			for ; i+2 <= i1; i += 2 {
+				s00, s01, s02, s03, s10, s11, s12, s13 := dot2x4(
+					a.Row(i)[k0:k1], a.Row(i + 1)[k0:k1], b0, b1, b2, b3)
+				c0 := dst.Row(i)
+				c1 := dst.Row(i + 1)
+				if first {
+					c0[j], c0[j+1], c0[j+2], c0[j+3] = s00, s01, s02, s03
+					c1[j], c1[j+1], c1[j+2], c1[j+3] = s10, s11, s12, s13
+				} else {
+					c0[j] += s00
+					c0[j+1] += s01
+					c0[j+2] += s02
+					c0[j+3] += s03
+					c1[j] += s10
+					c1[j+1] += s11
+					c1[j+2] += s12
+					c1[j+3] += s13
+				}
+			}
+			if i < i1 {
+				s0, s1, s2, s3 := DotBatch(a.Row(i)[k0:k1], b0, b1, b2, b3)
+				ci := dst.Row(i)
+				if first {
+					ci[j], ci[j+1], ci[j+2], ci[j+3] = s0, s1, s2, s3
+				} else {
+					ci[j] += s0
+					ci[j+1] += s1
+					ci[j+2] += s2
+					ci[j+3] += s3
+				}
+			}
+		}
+		// Remainder columns (d % 4) use sequential-order lanes so every
+		// output element, tiled or not, is reproducible by PanelDot.
+		for ; j < d; j++ {
+			bj := b.Row(j)[k0:k1]
+			i := i0
+			for ; i+2 <= i1; i += 2 {
+				s0, s1 := seqDot2(a.Row(i)[k0:k1], a.Row(i + 1)[k0:k1], bj)
+				if first {
+					dst.Row(i)[j] = s0
+					dst.Row(i + 1)[j] = s1
+				} else {
+					dst.Row(i)[j] += s0
+					dst.Row(i + 1)[j] += s1
+				}
+			}
+			if i < i1 {
+				s := seqDot(a.Row(i)[k0:k1], bj)
+				if first {
+					dst.Row(i)[j] = s
+				} else {
+					dst.Row(i)[j] += s
+				}
+			}
+		}
+	}
+}
+
+// MulT computes C = A · Bᵀ into a freshly allocated matrix. See MulTInto.
+func MulT(a, b *Dense) *Dense {
+	return MulTInto(New(a.Rows, b.Rows), a, b)
+}
+
+// MulInto computes the ordinary product C = A · B into dst, with A n×k and
+// B k×m and dst n×m. dst must not alias A or B. The ikj loop order streams
+// rows of B and C; rows of the output are sharded across the worker pool.
+// It returns dst.
+func MulInto(dst, a, b *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: MulInto inner dimension mismatch %d vs %d", a.Cols, b.Rows))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulInto dst is %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	if Serial() {
+		mulRows(dst, a, b, 0, a.Rows)
+		return dst
+	}
+	ParallelFor(a.Rows, func(lo, hi int) {
+		mulRows(dst, a, b, lo, hi)
+	})
+	return dst
+}
+
+// mulRows computes output rows [lo, hi) of the ordinary product in ikj
+// order.
+func mulRows(dst, a, b *Dense, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ai := a.Row(i)
+		ci := dst.Row(i)
+		for j := range ci {
+			ci[j] = 0
+		}
+		for k := 0; k < a.Cols; k++ {
+			aik := ai[k]
+			if aik == 0 {
+				continue
+			}
+			Axpy(ci, aik, b.Row(k))
+		}
+	}
+}
+
+// Mul computes C = A · B into a freshly allocated matrix. See MulInto.
+func Mul(a, b *Dense) *Dense {
+	return MulInto(New(a.Rows, b.Cols), a, b)
+}

@@ -1,10 +1,23 @@
 // Package mat implements the dense linear-algebra substrate used by every
 // learner in this repository: row-major float64 matrices, cache-blocked and
-// goroutine-parallel matrix products, and the handful of vector kernels
-// (dot, axpy, norms, column reductions, top-k selection) that dominate HDC
-// encoding and similarity search.
+// register-tiled matrix kernels, a persistent worker pool, and the handful
+// of vector kernels (dot, axpy, norms, column reductions, top-k selection)
+// that dominate HDC encoding and similarity search.
 //
-// The package deliberately stays small and allocation-conscious rather than
+// The kernel layer is built around destination-passing "Into" variants so
+// hot loops can reuse buffers and allocate nothing in steady state:
+//
+//   - MulTInto(dst, A, B) computes A·Bᵀ — the shape of both HDC hot paths
+//     (batch encoding and batched similarity) — cache-blocked over the
+//     shared dimension (kernelKC-column panels sized to L1) and
+//     register-tiled 2×4 via the DotBatch/dot2x4 micro-kernels, which
+//     compute four output columns per pass over a row.
+//   - MulInto(dst, A, B) is the ordinary product in ikj order.
+//   - ParallelFor shards loops over a persistent goroutine worker pool
+//     (see pool.go); GetScratch provides pooled temporaries.
+//
+// MulT and Mul are thin allocating wrappers over the Into variants. The
+// package deliberately stays small and allocation-conscious rather than
 // general: matrices are plain row-major slices, rows are exposed as
 // zero-copy views, and hot-path dimension mismatches panic (they are
 // programmer errors, not runtime conditions).
@@ -13,9 +26,6 @@ package mat
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sort"
-	"sync"
 )
 
 // Dense is a row-major matrix. The zero value is an empty matrix; use New
@@ -32,6 +42,17 @@ func New(rows, cols int) *Dense {
 		panic(fmt.Sprintf("mat: negative dimensions %dx%d", rows, cols))
 	}
 	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// View wraps an existing slice as a rows×cols matrix without copying,
+// panicking unless len(data) is exactly rows*cols. Use it for scratch-pool
+// views so a mismatched size fails at the construction site instead of as
+// an out-of-range panic deep inside a kernel.
+func View(rows, cols int, data []float64) *Dense {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("mat: View %dx%d over %d elements", rows, cols, len(data)))
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: data}
 }
 
 // FromRows builds a matrix by copying the given rows, which must all have
@@ -166,14 +187,81 @@ func AbsDiff(dst, a, b []float64) {
 
 // ColSums returns the 1×Cols vector of column sums of m.
 func (m *Dense) ColSums() []float64 {
-	out := make([]float64, m.Cols)
-	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		for j, v := range row {
+	return m.ColSumsInto(make([]float64, m.Cols))
+}
+
+// ReduceChunk is the fixed shard height of ChunkedColReduce. A
+// machine-independent chunk (rather than n/GOMAXPROCS) fixes the
+// partial-sum boundaries and merge order, so chunked reductions are
+// bitwise identical on every machine — the same determinism contract the
+// matrix kernels keep.
+const ReduceChunk = 128
+
+// ChunkSpan returns the index range [lo, hi) that chunk c of a
+// ChunkedColReduce over n items covers.
+func ChunkSpan(c, n int) (lo, hi int) {
+	lo = c * ReduceChunk
+	hi = lo + ReduceChunk
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// ChunkedColReduce runs a deterministic parallel column reduction over n
+// items: the range [0, n) is split into ReduceChunk-sized chunks,
+// accumulate(c, p) adds chunk c's contribution (the items of ChunkSpan(c,
+// n)) into the width-wide partial p, and partials merge in chunk order.
+// The chunked structure is used even when running serially, so every
+// low-order bit of the result is identical whatever the core count.
+// accumulate must be safe to call concurrently for different chunks.
+func ChunkedColReduce(n, width int, out []float64, accumulate func(chunk int, p []float64)) []float64 {
+	if len(out) != width {
+		panic("mat: ChunkedColReduce output length mismatch")
+	}
+	for j := range out {
+		out[j] = 0
+	}
+	if n <= 0 || width == 0 {
+		return out
+	}
+	if n <= ReduceChunk {
+		accumulate(0, out)
+		return out
+	}
+	chunks := (n + ReduceChunk - 1) / ReduceChunk
+	partial := GetScratchZeroed(chunks * width)
+	if Serial() {
+		for c := 0; c < chunks; c++ {
+			accumulate(c, partial.Buf[c*width:(c+1)*width])
+		}
+	} else {
+		ParallelFor(chunks, func(lo, hi int) {
+			for c := lo; c < hi; c++ {
+				accumulate(c, partial.Buf[c*width:(c+1)*width])
+			}
+		})
+	}
+	for c := 0; c < chunks; c++ {
+		for j, v := range partial.Buf[c*width : (c+1)*width] {
 			out[j] += v
 		}
 	}
+	partial.Release()
 	return out
+}
+
+// ColSumsInto writes the column sums of m into out (len m.Cols) and
+// returns it, as a chunked parallel reduction (see ChunkedColReduce).
+func (m *Dense) ColSumsInto(out []float64) []float64 {
+	return ChunkedColReduce(m.Rows, m.Cols, out, func(c int, p []float64) {
+		lo, hi := ChunkSpan(c, m.Rows)
+		for i := lo; i < hi; i++ {
+			for j, v := range m.Row(i) {
+				p[j] += v
+			}
+		}
+	})
 }
 
 // RowNormalizeL2 scales each row of m to unit Euclidean norm in place.
@@ -182,142 +270,6 @@ func (m *Dense) RowNormalizeL2() {
 	for i := 0; i < m.Rows; i++ {
 		Normalize(m.Row(i))
 	}
-}
-
-// MulT computes C = A · Bᵀ where A is n×q and B is d×q, producing n×d.
-// This is the natural layout for HDC encoding (each base hypervector is a
-// row of B) and for batched similarity against class vectors. Rows of the
-// output are computed in parallel across GOMAXPROCS workers.
-func MulT(a, b *Dense) *Dense {
-	if a.Cols != b.Cols {
-		panic(fmt.Sprintf("mat: MulT inner dimension mismatch %d vs %d", a.Cols, b.Cols))
-	}
-	c := New(a.Rows, b.Rows)
-	ParallelFor(a.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ai := a.Row(i)
-			ci := c.Row(i)
-			for j := 0; j < b.Rows; j++ {
-				ci[j] = Dot(ai, b.Row(j))
-			}
-		}
-	})
-	return c
-}
-
-// Mul computes the ordinary product C = A · B with A n×k and B k×m.
-// It uses an ikj loop order so the inner loop streams both B and C rows.
-func Mul(a, b *Dense) *Dense {
-	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("mat: Mul inner dimension mismatch %d vs %d", a.Cols, b.Rows))
-	}
-	c := New(a.Rows, b.Cols)
-	ParallelFor(a.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ai := a.Row(i)
-			ci := c.Row(i)
-			for k := 0; k < a.Cols; k++ {
-				aik := ai[k]
-				if aik == 0 {
-					continue
-				}
-				bk := b.Row(k)
-				Axpy(ci, aik, bk)
-			}
-		}
-	})
-	return c
-}
-
-// ParallelFor splits [0, n) into contiguous shards, one per available CPU,
-// and runs body on each shard concurrently. With GOMAXPROCS=1 it simply
-// calls body(0, n) inline, so single-core machines pay no overhead.
-func ParallelFor(n int, body func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		if n > 0 {
-			body(0, n)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
-// ArgMax returns the index of the largest element of x (first on ties).
-// It panics on an empty slice.
-func ArgMax(x []float64) int {
-	if len(x) == 0 {
-		panic("mat: ArgMax of empty slice")
-	}
-	best := 0
-	for i := 1; i < len(x); i++ {
-		if x[i] > x[best] {
-			best = i
-		}
-	}
-	return best
-}
-
-// ArgTop2 returns the indices of the two largest elements of x
-// (first, second). It panics if len(x) < 2.
-func ArgTop2(x []float64) (int, int) {
-	if len(x) < 2 {
-		panic("mat: ArgTop2 needs at least 2 elements")
-	}
-	i1, i2 := 0, 1
-	if x[i2] > x[i1] {
-		i1, i2 = i2, i1
-	}
-	for i := 2; i < len(x); i++ {
-		switch {
-		case x[i] > x[i1]:
-			i2 = i1
-			i1 = i
-		case x[i] > x[i2]:
-			i2 = i
-		}
-	}
-	return i1, i2
-}
-
-// ArgTopK returns the indices of the k largest elements of x in descending
-// value order. k is clamped to len(x).
-func ArgTopK(x []float64, k int) []int {
-	if k > len(x) {
-		k = len(x)
-	}
-	if k <= 0 {
-		return nil
-	}
-	idx := make([]int, len(x))
-	for i := range idx {
-		idx[i] = i
-	}
-	// Full sort is O(D log D) with tiny constants; D <= a few thousand in
-	// every caller, so a selection algorithm is not worth the complexity.
-	sort.Slice(idx, func(a, b int) bool {
-		if x[idx[a]] != x[idx[b]] {
-			return x[idx[a]] > x[idx[b]]
-		}
-		return idx[a] < idx[b]
-	})
-	return idx[:k]
 }
 
 // MinMaxNormalize rescales x in place to [0, 1]. A constant vector becomes

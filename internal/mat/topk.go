@@ -1,0 +1,126 @@
+package mat
+
+import "sort"
+
+// This file holds the selection kernels: argmax, top-2, and the partial
+// top-k selection that Algorithm 2 uses to nominate dimensions for
+// regeneration.
+
+// ArgMax returns the index of the largest element of x (first on ties).
+// It panics on an empty slice.
+func ArgMax(x []float64) int {
+	if len(x) == 0 {
+		panic("mat: ArgMax of empty slice")
+	}
+	best := 0
+	for i := 1; i < len(x); i++ {
+		if x[i] > x[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ArgTop2 returns the indices of the two largest elements of x
+// (first, second). It panics if len(x) < 2.
+func ArgTop2(x []float64) (int, int) {
+	if len(x) < 2 {
+		panic("mat: ArgTop2 needs at least 2 elements")
+	}
+	i1, i2 := 0, 1
+	if x[i2] > x[i1] {
+		i1, i2 = i2, i1
+	}
+	for i := 2; i < len(x); i++ {
+		switch {
+		case x[i] > x[i1]:
+			i2 = i1
+			i1 = i
+		case x[i] > x[i2]:
+			i2 = i
+		}
+	}
+	return i1, i2
+}
+
+// topLess reports whether index a precedes index b in top-k order:
+// larger value first, lower index first on equal values.
+func topLess(x []float64, a, b int) bool {
+	if x[a] != x[b] {
+		return x[a] > x[b]
+	}
+	return a < b
+}
+
+// ArgTopK returns the indices of the k largest elements of x in descending
+// value order, lower index first on ties. k is clamped to len(x).
+//
+// Selection is a quickselect partition to isolate the top k followed by a
+// sort of just those k — O(D + k log k) instead of the O(D log D) full sort,
+// which matters because Algorithm 2 calls this with k = R·D every training
+// iteration.
+func ArgTopK(x []float64, k int) []int {
+	if k > len(x) {
+		k = len(x)
+	}
+	if k <= 0 {
+		return nil
+	}
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	if k < len(idx) {
+		topKSelect(x, idx, k)
+	}
+	top := idx[:k]
+	sort.Slice(top, func(a, b int) bool { return topLess(x, top[a], top[b]) })
+	return top
+}
+
+// topKSelect partially orders idx so that its first k entries are the top k
+// under topLess (in arbitrary internal order). Iterative quickselect with
+// median-of-three pivoting; the comparator is a strict total order (index
+// breaks value ties), so partitioning is well defined.
+func topKSelect(x []float64, idx []int, k int) {
+	lo, hi := 0, len(idx)-1
+	for lo < hi {
+		p := topKPartition(x, idx, lo, hi)
+		switch {
+		case p == k-1:
+			return
+		case p >= k:
+			hi = p - 1
+		default:
+			lo = p + 1
+		}
+	}
+}
+
+// topKPartition partitions idx[lo..hi] around a median-of-three pivot and
+// returns the pivot's final position.
+func topKPartition(x []float64, idx []int, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	// Sort the three candidates so the median lands at mid, then use it as
+	// the Lomuto pivot (stashed at hi).
+	if topLess(x, idx[mid], idx[lo]) {
+		idx[lo], idx[mid] = idx[mid], idx[lo]
+	}
+	if topLess(x, idx[hi], idx[lo]) {
+		idx[lo], idx[hi] = idx[hi], idx[lo]
+	}
+	if topLess(x, idx[hi], idx[mid]) {
+		idx[mid], idx[hi] = idx[hi], idx[mid]
+	}
+	idx[mid], idx[hi] = idx[hi], idx[mid]
+	pivot := idx[hi]
+	store := lo
+	for i := lo; i < hi; i++ {
+		if topLess(x, idx[i], pivot) {
+			idx[store], idx[i] = idx[i], idx[store]
+			store++
+		}
+	}
+	idx[store], idx[hi] = idx[hi], idx[store]
+	return store
+}

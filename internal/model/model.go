@@ -94,27 +94,92 @@ func (m *Model) TopK(h []float64, k int) []int {
 	return mat.ArgTopK(m.Scores(h, dst), k)
 }
 
-// PredictBatch classifies every row of H in parallel.
+// PredictBatch classifies every row of H. The score matrix comes from the
+// shared scratch pool; use PredictBatchInto to control both buffers.
 func (m *Model) PredictBatch(H *mat.Dense) []int {
 	out := make([]int, H.Rows)
-	mat.ParallelFor(H.Rows, func(lo, hi int) {
-		scores := make([]float64, m.Classes())
-		for i := lo; i < hi; i++ {
-			out[i] = mat.ArgMax(m.Scores(H.Row(i), scores))
-		}
-	})
+	s := mat.GetScratch(H.Rows * m.Classes())
+	m.PredictBatchInto(H, mat.View(H.Rows, m.Classes(), s.Buf), out)
+	s.Release()
 	return out
+}
+
+// PredictBatchInto classifies every row of H into out (len H.Rows), using
+// scores (H.Rows × Classes) as the scoring buffer. Steady-state batched
+// inference through this entry point allocates nothing.
+func (m *Model) PredictBatchInto(H, scores *mat.Dense, out []int) []int {
+	if len(out) != H.Rows {
+		panic("model: PredictBatchInto out length mismatch")
+	}
+	m.ScoreBatchInto(H, scores)
+	if mat.Serial() {
+		argmaxRows(scores, out, 0, H.Rows)
+	} else {
+		mat.ParallelFor(H.Rows, func(lo, hi int) {
+			argmaxRows(scores, out, lo, hi)
+		})
+	}
+	return out
+}
+
+// argmaxRows writes the argmax of each scores row into out.
+func argmaxRows(scores *mat.Dense, out []int, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		out[i] = mat.ArgMax(scores.Row(i))
+	}
 }
 
 // ScoreBatch returns the full N×k similarity matrix for H.
 func (m *Model) ScoreBatch(H *mat.Dense) *mat.Dense {
-	out := mat.New(H.Rows, m.Classes())
-	mat.ParallelFor(H.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			m.Scores(H.Row(i), out.Row(i))
+	return m.ScoreBatchInto(H, mat.New(H.Rows, m.Classes()))
+}
+
+// ScoreBatchInto writes the N×k cosine-similarity matrix of H into dst and
+// returns it: one blocked GEMM H·Wᵀ (mat.MulTInto) followed by a norm
+// scaling pass, instead of N independent dot-product loops. Rows with zero
+// norm, and classes with zero norm, score 0. With caller-owned dst the
+// steady-state path allocates nothing.
+//
+// Batch and single-sample scoring agree to floating-point rounding but not
+// bitwise: Scores uses the 4-way-unrolled mat.Dot (the AdaptiveStep hot
+// path cannot afford the blocked kernel's sequential lanes), while the
+// batch path accumulates in the kernel's panel order. Unlike the encoding
+// layer — where EncodeDims patches columns of a batch-encoded matrix and
+// bitwise parity is therefore load-bearing — scored values from the two
+// paths are never mixed in one structure, so sub-ulp disagreement on exact
+// score ties is acceptable here.
+func (m *Model) ScoreBatchInto(H, dst *mat.Dense) *mat.Dense {
+	mat.MulTInto(dst, H, m.Weights)
+	if mat.Serial() {
+		m.scaleScoreRows(H, dst, 0, H.Rows)
+	} else {
+		mat.ParallelFor(H.Rows, func(lo, hi int) {
+			m.scaleScoreRows(H, dst, lo, hi)
+		})
+	}
+	return dst
+}
+
+// scaleScoreRows converts raw dot products in dst rows [lo, hi) to cosine
+// similarities.
+func (m *Model) scaleScoreRows(H, dst *mat.Dense, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := dst.Row(i)
+		hn := mat.Norm2(H.Row(i))
+		if hn == 0 {
+			for c := range row {
+				row[c] = 0
+			}
+			continue
 		}
-	})
-	return out
+		for c := range row {
+			if m.norms[c] == 0 {
+				row[c] = 0
+			} else {
+				row[c] /= hn * m.norms[c]
+			}
+		}
+	}
 }
 
 // ZeroDims zeroes the given coordinates in every class hypervector. DistHD
@@ -181,6 +246,51 @@ type TrainResult struct {
 	Epochs int
 }
 
+// Trainer runs Algorithm 1 epochs over a model with every buffer — the
+// shuffle order, the score scratch, and the RNG itself — preallocated, so
+// the steady-state training iteration allocates nothing. DistHD's
+// train/regenerate loop owns one Trainer across all iterations, reseeding
+// the shuffle stream per iteration.
+type Trainer struct {
+	m       *Model
+	r       *rng.Rand
+	order   []int
+	scratch []float64
+}
+
+// NewTrainer returns a Trainer for m whose shuffle stream starts from seed.
+func NewTrainer(m *Model, seed uint64) *Trainer {
+	return &Trainer{m: m, r: rng.New(seed), scratch: make([]float64, m.Classes())}
+}
+
+// Reseed restarts the shuffle stream in place, as if the Trainer had been
+// freshly created with this seed.
+func (t *Trainer) Reseed(seed uint64) { t.r.Reseed(seed) }
+
+// Epoch runs one shuffled adaptive pass (Algorithm 1) over (H, y) with
+// learning rate lr and returns the fraction of samples whose pre-update
+// prediction was already correct (1.0 for an empty batch). It consumes
+// exactly the random draws Fit's per-epoch shuffle consumes, so Fit on a
+// fresh Trainer reproduces the historical trajectories bit for bit.
+func (t *Trainer) Epoch(H *mat.Dense, y []int, lr float64) float64 {
+	n := H.Rows
+	if cap(t.order) < n {
+		t.order = make([]int, n)
+	}
+	order := t.order[:n]
+	t.r.PermInto(order)
+	correct := 0
+	for _, i := range order {
+		if t.m.AdaptiveStep(H.Row(i), y[i], lr, t.scratch) {
+			correct++
+		}
+	}
+	if n == 0 {
+		return 1.0
+	}
+	return float64(correct) / float64(n)
+}
+
 // Fit runs Algorithm 1 for up to cfg.Epochs passes over the encoded
 // training set H with labels y, shuffling the visit order each epoch.
 func Fit(m *Model, H *mat.Dense, y []int, cfg TrainConfig) (*TrainResult, error) {
@@ -196,23 +306,12 @@ func Fit(m *Model, H *mat.Dense, y []int, cfg TrainConfig) (*TrainResult, error)
 	if cfg.Epochs <= 0 {
 		return nil, fmt.Errorf("model: non-positive epoch count %d", cfg.Epochs)
 	}
-	r := rng.New(cfg.Seed)
-	res := &TrainResult{}
+	t := NewTrainer(m, cfg.Seed)
+	res := &TrainResult{History: make([]float64, 0, cfg.Epochs)}
 	best := -1.0
 	stall := 0
-	scratch := make([]float64, m.Classes())
 	for e := 0; e < cfg.Epochs; e++ {
-		order := r.Perm(H.Rows)
-		correct := 0
-		for _, i := range order {
-			if m.AdaptiveStep(H.Row(i), y[i], cfg.LearningRate, scratch) {
-				correct++
-			}
-		}
-		acc := 1.0
-		if H.Rows > 0 {
-			acc = float64(correct) / float64(H.Rows)
-		}
+		acc := t.Epoch(H, y, cfg.LearningRate)
 		res.History = append(res.History, acc)
 		res.Epochs = e + 1
 		if cfg.Patience > 0 {
@@ -303,10 +402,12 @@ func TopKAccuracy(m *Model, H *mat.Dense, y []int, k int) float64 {
 	if H.Rows == 0 {
 		return math.NaN()
 	}
+	s := mat.GetScratch(H.Rows * m.Classes())
+	scores := mat.View(H.Rows, m.Classes(), s.Buf)
+	m.ScoreBatchInto(H, scores)
 	correct := 0
-	scores := make([]float64, m.Classes())
 	for i := 0; i < H.Rows; i++ {
-		top := mat.ArgTopK(m.Scores(H.Row(i), scores), k)
+		top := mat.ArgTopK(scores.Row(i), k)
 		for _, c := range top {
 			if c == y[i] {
 				correct++
@@ -314,5 +415,6 @@ func TopKAccuracy(m *Model, H *mat.Dense, y []int, k int) float64 {
 			}
 		}
 	}
+	s.Release()
 	return float64(correct) / float64(H.Rows)
 }

@@ -147,27 +147,13 @@ func Train(enc encoding.Regenerable, X *mat.Dense, y []int, classes int, cfg Con
 		if iter < cfg.Iterations-1 && budget > 0 {
 			dims := leastSalient(m, budget)
 			enc.Regenerate(dims)
-			refreshColumns(enc, X, H, dims)
+			enc.EncodeDimsBatch(X, dims, H)
 			m.ZeroDims(dims)
 			warmStart(m, H, y, dims)
 			stats.TotalRegenerated += len(dims)
 		}
 	}
 	return &Classifier{Enc: enc, Model: m, Cfg: cfg}, stats, nil
-}
-
-// refreshColumns recomputes the regenerated columns of H from raw features.
-func refreshColumns(enc encoding.Regenerable, X, H *mat.Dense, dims []int) {
-	mat.ParallelFor(X.Rows, func(lo, hi int) {
-		buf := make([]float64, len(dims))
-		for i := lo; i < hi; i++ {
-			enc.EncodeDims(X.Row(i), dims, buf)
-			row := H.Row(i)
-			for j, d := range dims {
-				row[d] = buf[j]
-			}
-		}
-	})
 }
 
 // warmStart seeds regenerated dimensions with class-conditional means, the

@@ -38,6 +38,14 @@ func splitmix64(state *uint64) uint64 {
 // New returns a generator seeded deterministically from seed.
 func New(seed uint64) *Rand {
 	r := &Rand{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed reinitializes r in place exactly as New(seed) would, letting
+// long-lived owners (e.g. training loops that reseed per iteration) avoid
+// allocating a fresh generator.
+func (r *Rand) Reseed(seed uint64) {
 	sm := seed
 	for i := range r.s {
 		r.s[i] = splitmix64(&sm)
@@ -47,7 +55,8 @@ func New(seed uint64) *Rand {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return r
+	r.hasGauss = false
+	r.gauss = 0
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
@@ -127,7 +136,14 @@ func (r *Rand) Uniform(lo, hi float64) float64 {
 
 // Perm returns a uniformly random permutation of [0, n).
 func (r *Rand) Perm(n int) []int {
-	p := make([]int, n)
+	return r.PermInto(make([]int, n))
+}
+
+// PermInto fills p with a uniformly random permutation of [0, len(p)) and
+// returns it, consuming exactly the same random draws as Perm — callers can
+// swap an allocating Perm for a reusable buffer without changing any
+// seeded trajectory.
+func (r *Rand) PermInto(p []int) []int {
 	for i := range p {
 		p[i] = i
 	}

@@ -258,3 +258,40 @@ func BenchmarkNormFloat64(b *testing.B) {
 		_ = r.NormFloat64()
 	}
 }
+
+// TestPermIntoMatchesPerm checks that the in-place variant consumes the
+// same draws and produces the same permutation as Perm.
+func TestPermIntoMatchesPerm(t *testing.T) {
+	a := New(9)
+	b := New(9)
+	buf := make([]int, 17)
+	for trial := 0; trial < 5; trial++ {
+		want := a.Perm(17)
+		got := b.PermInto(buf)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: PermInto %v != Perm %v", trial, got, want)
+			}
+		}
+	}
+}
+
+// TestReseedMatchesNew checks Reseed restores the exact New(seed) state,
+// including clearing the cached Gaussian.
+func TestReseedMatchesNew(t *testing.T) {
+	r := New(3)
+	r.NormFloat64() // populate the Box-Muller cache
+	r.Uint64()
+	r.Reseed(42)
+	fresh := New(42)
+	for i := 0; i < 100; i++ {
+		if r.Uint64() != fresh.Uint64() {
+			t.Fatalf("draw %d diverged after Reseed", i)
+		}
+	}
+	r.Reseed(7)
+	fresh2 := New(7)
+	if r.NormFloat64() != fresh2.NormFloat64() {
+		t.Fatal("Gaussian cache survived Reseed")
+	}
+}
