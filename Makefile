@@ -1,17 +1,29 @@
 # Tier-1 verification and benchmark targets for the DistHD reproduction.
 #
-# `make ci` is the documented tier-1 gate: vet, build, race-enabled tests,
-# and a one-iteration benchmark smoke pass so the perf harness itself cannot
-# rot. `make bench` produces the numbers recorded in PERF.md.
+# `make ci` is the documented tier-1 gate: formatting, vet, the exported-
+# identifier doc check on the public surface, build, race-enabled tests
+# (which include the runnable godoc Examples in the root and serve
+# packages), and a one-iteration benchmark smoke pass so the perf harness
+# itself cannot rot. `make bench` produces the numbers recorded in PERF.md.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke bench bench-kernels
+.PHONY: ci fmt-check vet doc-check build test race bench-smoke bench bench-kernels bench-serve
 
-ci: vet build race bench-smoke
+ci: fmt-check vet doc-check build race bench-smoke
+
+# gofmt must be a no-op across the tree.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
+
+# The public surface (root package and serve) must not export an
+# undocumented identifier.
+doc-check:
+	$(GO) run ./cmd/doccheck . ./serve
 
 build:
 	$(GO) build ./...
@@ -37,3 +49,9 @@ bench:
 
 bench-kernels:
 	$(GO) test ./internal/mat -run xxx -bench . -benchtime 1s
+
+# The serving table of PERF.md: per-request Predict vs the micro-batching
+# Batcher across dimensionality and concurrency.
+bench-serve:
+	$(GO) test ./serve -run xxx -bench 'Serve(PerRequest|Batched)' \
+		-benchtime 2s -count 3

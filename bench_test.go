@@ -117,6 +117,38 @@ func BenchmarkInferenceSingle(b *testing.B) {
 	}
 }
 
+// BenchmarkReplicaPredictBatch measures the serving replica's batch path:
+// rows through the leased-scratch EncodeBatchInto → PredictBatchInto
+// pipeline. ReportAllocs pins the zero-allocation steady state the serve
+// package depends on.
+func BenchmarkReplicaPredictBatch(b *testing.B) {
+	train, test := benchData(b)
+	cfg := disthd.DefaultConfig()
+	cfg.Dim = 256
+	cfg.Iterations = 8
+	m, err := disthd.TrainWithConfig(train.X, train.Y, train.Classes, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep, err := m.NewReplica(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := make([][]float64, 64)
+	for i := range rows {
+		rows[i] = test.X[i%len(test.X)]
+	}
+	out := make([]int, len(rows))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rep.PredictBatch(m, rows, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(rows)), "samples/op")
+}
+
 // BenchmarkInferenceBatch measures batched inference throughput.
 func BenchmarkInferenceBatch(b *testing.B) {
 	train, test := benchData(b)

@@ -1,0 +1,109 @@
+// Command disthd-serve runs the micro-batching inference server over a
+// trained DistHD model.
+//
+// Usage:
+//
+//	disthd-serve -model model.bin -addr :8080
+//	disthd-serve -demo UCIHAR -dim 512 -addr :8080   # train a demo model
+//
+// The server coalesces concurrent /predict calls into micro-batches and
+// runs them through the zero-allocation batched-GEMM kernels; /swap
+// hot-swaps the model mid-traffic from a Model.Save snapshot:
+//
+//	curl -X POST --data-binary @new-model.bin localhost:8080/swap
+//
+// Endpoints: POST /predict, POST /predict_batch, GET /healthz, GET /stats,
+// POST /swap. See the serve package for the wire format, and
+// `hdbench -loadgen` for the matching closed-loop load generator.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	disthd "repro"
+	"repro/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		model    = flag.String("model", "", "path to a Model.Save snapshot to serve")
+		demo     = flag.String("demo", "", "train a demo model on this synthetic benchmark (e.g. UCIHAR) instead of loading one")
+		dim      = flag.Int("dim", 512, "hypervector dimensionality for -demo")
+		scale    = flag.Float64("scale", 0.2, "dataset scale for -demo")
+		seed     = flag.Uint64("seed", 42, "random seed for -demo")
+		maxBatch = flag.Int("max-batch", 64, "flush a micro-batch at this many rows")
+		minFill  = flag.Int("min-fill", 1, "linger up to -max-delay for this many rows before flushing")
+		maxDelay = flag.Duration("max-delay", 2*time.Millisecond, "deadline for a lingering micro-batch")
+		replicas = flag.Int("replicas", 0, "serving replicas (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	m, err := loadModel(*model, *demo, *dim, *scale, *seed)
+	if err != nil {
+		log.Fatalf("disthd-serve: %v", err)
+	}
+	log.Printf("serving model: %d features, D=%d, %d classes", m.Features(), m.Dim(), m.Classes())
+
+	srv, err := serve.New(m, serve.Options{
+		MaxBatch: *maxBatch,
+		MinFill:  *minFill,
+		MaxDelay: *maxDelay,
+		Replicas: *replicas,
+	})
+	if err != nil {
+		log.Fatalf("disthd-serve: %v", err)
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-stop
+		log.Printf("draining...")
+		if err := srv.Close(); err != nil {
+			log.Printf("disthd-serve: shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("listening on %s (max-batch=%d min-fill=%d max-delay=%v)",
+		*addr, *maxBatch, *minFill, *maxDelay)
+	if err := srv.ListenAndServe(*addr); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("disthd-serve: %v", err)
+	}
+	log.Printf("bye: %+v", srv.Batcher().Stats())
+}
+
+// loadModel reads a snapshot from disk or trains a demo model.
+func loadModel(path, demo string, dim int, scale float64, seed uint64) (*disthd.Model, error) {
+	switch {
+	case path != "" && demo != "":
+		return nil, fmt.Errorf("-model and -demo are mutually exclusive")
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return disthd.Load(f)
+	case demo != "":
+		train, _, err := disthd.SyntheticBenchmark(demo, scale, seed)
+		if err != nil {
+			return nil, err
+		}
+		cfg := disthd.DefaultConfig()
+		cfg.Dim = dim
+		cfg.Seed = seed
+		log.Printf("training demo model on %s (scale %.2f, D=%d)...", demo, scale, dim)
+		return disthd.TrainWithConfig(train.X, train.Y, train.Classes, cfg)
+	default:
+		return nil, fmt.Errorf("need -model <file> or -demo <benchmark> (one of %v)", disthd.BenchmarkNames())
+	}
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	disthd "repro"
+	"repro/serve"
+)
+
+// loadgenOptions configures the closed-loop serving load generator.
+type loadgenOptions struct {
+	dataset     string
+	dim         int
+	scale       float64
+	seed        uint64
+	concurrency []int
+	duration    time.Duration
+	maxBatch    int
+	maxDelay    time.Duration
+}
+
+// parseConcurrency parses a comma-separated concurrency sweep.
+func parseConcurrency(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad concurrency level %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// runLoadgen trains a model, then drives it closed-loop — every virtual
+// client issues one request, waits for the answer, repeats — through both
+// the per-request Predict path and the micro-batching serve.Batcher, and
+// prints throughput vs. concurrency with the batching speedup. This is
+// the measurement behind PERF.md's serving table.
+func runLoadgen(o loadgenOptions, w io.Writer) error {
+	train, test, err := disthd.SyntheticBenchmark(o.dataset, o.scale, o.seed)
+	if err != nil {
+		return err
+	}
+	cfg := disthd.DefaultConfig()
+	cfg.Dim = o.dim
+	cfg.Seed = o.seed
+	fmt.Fprintf(w, "loadgen: training %s model (D=%d, %d train samples)...\n",
+		o.dataset, o.dim, train.Len())
+	m, err := disthd.TrainWithConfig(train.X, train.Y, train.Classes, cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "closed-loop, %v per cell, %d query rows\n\n", o.duration, test.Len())
+	fmt.Fprintf(w, "%12s %16s %16s %10s %12s\n",
+		"concurrency", "direct req/s", "batched req/s", "speedup", "rows/batch")
+	for _, conc := range o.concurrency {
+		direct := closedLoop(conc, o.duration, test.X, func(x []float64) error {
+			_, err := m.Predict(x)
+			return err
+		})
+
+		minFill := conc / 2
+		if minFill < 1 {
+			minFill = 1
+		}
+		bat, err := serve.NewBatcher(m, serve.Options{
+			MaxBatch: o.maxBatch,
+			MinFill:  minFill,
+			MaxDelay: o.maxDelay,
+			Replicas: 1,
+		})
+		if err != nil {
+			return err
+		}
+		batched := closedLoop(conc, o.duration, test.X, func(x []float64) error {
+			_, err := bat.Predict(x)
+			return err
+		})
+		snap := bat.Stats()
+		bat.Close()
+
+		fmt.Fprintf(w, "%12d %16.0f %16.0f %9.2fx %12.1f\n",
+			conc, direct, batched, batched/direct, snap.MeanBatchRows)
+	}
+	return nil
+}
+
+// closedLoop runs conc clients for about d and returns requests/second.
+func closedLoop(conc int, d time.Duration, rows [][]float64, predict func([]float64) error) float64 {
+	var (
+		wg    sync.WaitGroup
+		total atomic.Int64
+		stop  atomic.Bool
+	)
+	start := time.Now()
+	for c := 0; c < conc; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			n := 0
+			for !stop.Load() {
+				if err := predict(rows[(c+n)%len(rows)]); err != nil {
+					break
+				}
+				n++
+			}
+			total.Add(int64(n))
+		}(c)
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	return float64(total.Load()) / elapsed.Seconds()
+}

@@ -1,5 +1,6 @@
 // Command hdbench regenerates the tables and figures of the DistHD paper's
-// evaluation on the synthetic benchmark suite.
+// evaluation on the synthetic benchmark suite, and doubles as the serving
+// load generator.
 //
 // Usage:
 //
@@ -7,10 +8,16 @@
 //	hdbench -exp fig4                 # one experiment at the default scale
 //	hdbench -exp all -scale 0.35      # everything, EXPERIMENTS.md scale
 //	hdbench -exp fig8 -quick          # CI-sized smoke run
+//	hdbench -loadgen -concurrency 1,8,32,64 -duration 2s
 //
-// Output is plain text, one table per experiment, in the same layout the
-// paper reports. See EXPERIMENTS.md for the recorded paper-vs-measured
-// comparison.
+// -loadgen runs the closed-loop serving benchmark: it measures per-request
+// Predict against the micro-batching serve.Batcher at each concurrency
+// level and reports throughput plus the batching speedup (the PERF.md
+// serving table).
+//
+// Experiment output is plain text, one table per experiment, in the same
+// layout the paper reports. See EXPERIMENTS.md for the recorded
+// paper-vs-measured comparison.
 package main
 
 import (
@@ -29,8 +36,40 @@ func main() {
 		seed  = flag.Uint64("seed", 42, "master random seed")
 		quick = flag.Bool("quick", false, "shrink sweeps to CI size")
 		list  = flag.Bool("list", false, "list experiment ids and exit")
+
+		loadgen = flag.Bool("loadgen", false, "run the closed-loop serving load generator instead of an experiment")
+		lgData  = flag.String("dataset", "UCIHAR", "loadgen: synthetic benchmark to train on")
+		lgDim   = flag.Int("dim", 512, "loadgen: hypervector dimensionality")
+		lgConc  = flag.String("concurrency", "1,8,32,64", "loadgen: comma-separated concurrency sweep")
+		lgDur   = flag.Duration("duration", 2*time.Second, "loadgen: measurement window per cell")
+		lgBatch = flag.Int("max-batch", 64, "loadgen: batcher MaxBatch")
+		lgDelay = flag.Duration("max-delay", 2*time.Millisecond, "loadgen: batcher MaxDelay")
+		lgScale = flag.Float64("loadgen-scale", 0.2, "loadgen: dataset scale")
 	)
 	flag.Parse()
+
+	if *loadgen {
+		conc, err := parseConcurrency(*lgConc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hdbench: %v\n", err)
+			os.Exit(2)
+		}
+		o := loadgenOptions{
+			dataset:     *lgData,
+			dim:         *lgDim,
+			scale:       *lgScale,
+			seed:        *seed,
+			concurrency: conc,
+			duration:    *lgDur,
+			maxBatch:    *lgBatch,
+			maxDelay:    *lgDelay,
+		}
+		if err := runLoadgen(o, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "hdbench: loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		fmt.Println("available experiments:")

@@ -18,11 +18,20 @@
 //   - SyntheticBenchmark regenerates the paper's five evaluation datasets
 //     (as synthetic stand-ins with matching shape) at any scale, and
 //     ReadCSV/LoadCSVFile bring in real data.
+//   - Model.NewReplica builds the per-goroutine zero-allocation batch
+//     inference context that online serving is built on.
+//
+// Online serving lives in the serve subpackage: a micro-batching Batcher
+// that gives concurrent single-request callers batched-GEMM throughput, an
+// atomic model hot-swap (Swapper), and an HTTP/JSON Server — run it with
+// cmd/disthd-serve and load-test it with `hdbench -loadgen`.
 //
 // The research internals — the baselines (NeuralHD, baselineHD, MLP, SVM),
 // the experiment harness that regenerates every table and figure of the
 // paper, and the substrates they share — live under internal/ and are
 // exercised by cmd/hdbench and the benchmarks in bench_test.go.
+// ARCHITECTURE.md maps the full layer stack (kernels → encoding → model →
+// learners → public API → serve) with pointers into every package.
 //
 // # Performance architecture
 //
@@ -32,9 +41,11 @@
 //
 //   - mat.MulTInto / mat.MulTIntoFused: destination-passing A·Bᵀ — the
 //     shape of both HDC hot paths — blocked over the shared dimension and
-//     register-tiled 2×4 via the DotBatch micro-kernel, with an optional
-//     elementwise epilogue applied to each output row while it is still
-//     cache-hot.
+//     register-tiled 2×4, with an optional elementwise epilogue applied to
+//     each output row while it is still cache-hot. On amd64 with AVX2+FMA
+//     the micro-kernels dispatch to assembly (internal/mat/simd_amd64.s);
+//     the pure-Go lane kernels produce bit-identical results everywhere
+//     else.
 //   - encoding.*.EncodeBatchInto: batch encoding as one blocked GEMM with
 //     the encoder nonlinearity fused on, instead of N matrix-vector loops;
 //     EncodeDimsBatch patches only the regenerated columns of an encoded

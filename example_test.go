@@ -1,0 +1,150 @@
+package disthd_test
+
+// Runnable godoc examples for the core public-API lifecycle: train,
+// predict, serialize, deploy. Each runs under `go test` and its printed
+// output is verified, so the documented usage can never rot.
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	disthd "repro"
+)
+
+// exampleData builds a small deterministic two-class training set: class 0
+// clusters near (-1, ..., -1), class 1 near (+1, ..., +1).
+func exampleData(n, features int) (X [][]float64, y []int) {
+	for i := 0; i < n; i++ {
+		row := make([]float64, features)
+		sign := float64(1)
+		if i%2 == 0 {
+			sign = -1
+		}
+		for j := range row {
+			// a fixed, sample-dependent wobble around the class center
+			row[j] = sign + 0.3*float64((i*7+j*3)%5-2)/2
+		}
+		X = append(X, row)
+		y = append(y, i%2)
+	}
+	return X, y
+}
+
+// ExampleTrain fits a DistHD classifier on a toy two-class problem and
+// inspects the trained model's shape.
+func ExampleTrain() {
+	X, y := exampleData(60, 8)
+	model, err := disthd.Train(X, y, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc, err := model.Evaluate(X, y)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("features:", model.Features())
+	fmt.Println("classes:", model.Classes())
+	fmt.Println("training accuracy above 90%:", acc > 0.9)
+	// Output:
+	// features: 8
+	// classes: 2
+	// training accuracy above 90%: true
+}
+
+// ExampleModel_Predict classifies single samples, including the top-2
+// primitive at the heart of the DistHD algorithm.
+func ExampleModel_Predict() {
+	X, y := exampleData(60, 8)
+	model, err := disthd.Train(X, y, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A fresh sample near the class-1 center.
+	probe := []float64{1, 1, 1, 1, 1, 1, 1, 1}
+	class, err := model.Predict(probe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	first, second, err := model.PredictTop2(probe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("predicted class:", class)
+	fmt.Println("top-2:", first, second)
+	// Output:
+	// predicted class: 1
+	// top-2: 1 0
+}
+
+// ExampleModel_Save round-trips a trained model through its binary
+// serialization; the loaded model classifies identically.
+func ExampleModel_Save() {
+	X, y := exampleData(60, 8)
+	model, err := disthd.Train(X, y, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := disthd.Load(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	agree := true
+	for _, x := range X {
+		a, _ := model.Predict(x)
+		b, _ := loaded.Predict(x)
+		if a != b {
+			agree = false
+		}
+	}
+	fmt.Println("loaded dim:", loaded.Dim())
+	fmt.Println("predictions agree:", agree)
+	// Output:
+	// loaded dim: 512
+	// predictions agree: true
+}
+
+// ExampleModel_Deploy packs a model into a 4-bit edge image, injects
+// random bit flips (the paper's Fig. 8 hardware-error methodology), and
+// measures the surviving accuracy.
+func ExampleModel_Deploy() {
+	X, y := exampleData(60, 8)
+	model, err := disthd.Train(X, y, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dep, err := model.Deploy(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	before, err := dep.Evaluate(X, y)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Flip 1% of the stored bits, then heal the image.
+	if err := dep.Inject(0.01, 7); err != nil {
+		log.Fatal(err)
+	}
+	after, err := dep.Evaluate(X, y)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dep.Restore(); err != nil {
+		log.Fatal(err)
+	}
+	healed, err := dep.Evaluate(X, y)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("bits per dimension:", dep.Bits())
+	fmt.Println("accuracy survives 1% flips:", after > 0.8)
+	fmt.Println("restore heals exactly:", healed == before)
+	// Output:
+	// bits per dimension: 4
+	// accuracy survives 1% flips: true
+	// restore heals exactly: true
+}

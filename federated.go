@@ -14,29 +14,54 @@ import (
 // (bundling is the memory operation, so bundled class vectors memorize
 // the union of what each shard learned).
 //
-// Merging is only meaningful when every party used the *same frozen
-// encoder*: train each shard with an identical Config (same Seed, same
-// Dim) and RegenRate = 0, because dimension regeneration is data-driven
-// and would diverge the encoders. MergeModels verifies encoder equality
-// by comparing probe encodings and fails loudly on mismatch.
+// # Merge contract
+//
+// Every input model must be non-nil and agree on all four of:
+//
+//   - feature width: the models were trained on the same input schema;
+//   - hypervector dimensionality D: the class hypervectors are summed
+//     coordinate-wise, so they must live in the same space;
+//   - class count: every shard must have been trained with the same
+//     global label set, even if some labels never occur in its shard —
+//     pass the global class count to TrainWithConfig, never the shard's
+//     own. Two shards that saw 5 and 6 labels of a 6-class problem do
+//     NOT merge; retrain the first with classes = 6;
+//   - encoder: same family, same Seed, and RegenRate = 0, because
+//     dimension regeneration is data-driven and would diverge the
+//     encoders. Encoder equality is verified by probing both encoders
+//     with a fixed input and comparing outputs bit for bit.
+//
+// Any violation returns a descriptive error naming the offending model's
+// position in the argument list; nothing is ever merged silently across a
+// disagreement. The merged model reuses the shared encoder and carries no
+// training statistics (only Info.EffectiveDim is set).
 func MergeModels(models ...*Model) (*Model, error) {
 	if len(models) == 0 {
 		return nil, fmt.Errorf("disthd: nothing to merge")
+	}
+	for i, m := range models {
+		if m == nil {
+			return nil, fmt.Errorf("disthd: model %d is nil", i)
+		}
 	}
 	first := models[0]
 	for i, m := range models[1:] {
 		switch {
 		case m.Features() != first.Features():
-			return nil, fmt.Errorf("disthd: model %d has %d features, model 0 has %d", i+1, m.Features(), first.Features())
+			return nil, fmt.Errorf("disthd: cannot merge: model %d has %d features, model 0 has %d "+
+				"(shards must share one input schema)", i+1, m.Features(), first.Features())
 		case m.Dim() != first.Dim():
-			return nil, fmt.Errorf("disthd: model %d has dim %d, model 0 has %d", i+1, m.Dim(), first.Dim())
+			return nil, fmt.Errorf("disthd: cannot merge: model %d has dim %d, model 0 has %d "+
+				"(class hypervectors are summed coordinate-wise)", i+1, m.Dim(), first.Dim())
 		case m.Classes() != first.Classes():
-			return nil, fmt.Errorf("disthd: model %d has %d classes, model 0 has %d", i+1, m.Classes(), first.Classes())
+			return nil, fmt.Errorf("disthd: cannot merge: model %d separates %d classes, model 0 separates %d "+
+				"(train every shard with the global class count, even if some labels are absent from its shard)",
+				i+1, m.Classes(), first.Classes())
 		case m.kind != first.kind:
-			return nil, fmt.Errorf("disthd: model %d uses a different encoder family", i+1)
+			return nil, fmt.Errorf("disthd: cannot merge: model %d uses a different encoder family", i+1)
 		}
 		if !sameEncoder(first, m) {
-			return nil, fmt.Errorf("disthd: model %d was trained with a different encoder "+
+			return nil, fmt.Errorf("disthd: cannot merge: model %d was trained with a different encoder "+
 				"(merging requires a shared seed and RegenRate = 0)", i+1)
 		}
 	}

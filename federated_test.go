@@ -1,0 +1,75 @@
+package disthd_test
+
+// Tests pinning the MergeModels merge contract: every shape or encoder
+// disagreement must fail with a descriptive error, never merge silently.
+
+import (
+	"strings"
+	"testing"
+
+	disthd "repro"
+)
+
+func TestMergeModelsClassCountMismatch(t *testing.T) {
+	train, _, err := disthd.SyntheticBenchmark("DIABETES", 0.04, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := disthd.DefaultConfig()
+	cfg.Dim = 64
+	cfg.Iterations = 3
+	cfg.RegenRate = 0
+	cfg.Seed = 31
+
+	// Same data, same frozen encoder — but one party trained against a
+	// larger global label set (a label its shard never saw). The class
+	// hypervector matrices have different shapes and must not merge.
+	a, err := disthd.TrainWithConfig(train.X, train.Y, train.Classes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := disthd.TrainWithConfig(train.X, train.Y, train.Classes+1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Classes() == b.Classes() {
+		t.Fatal("fixture broken: class counts agree")
+	}
+	_, err = disthd.MergeModels(a, b)
+	if err == nil {
+		t.Fatal("models with different class counts merged silently")
+	}
+	if !strings.Contains(err.Error(), "classes") {
+		t.Fatalf("class-count error is not descriptive: %v", err)
+	}
+	// The error should name which argument disagreed.
+	if !strings.Contains(err.Error(), "model 1") {
+		t.Fatalf("error does not locate the offending model: %v", err)
+	}
+	// Order must not matter.
+	if _, err := disthd.MergeModels(b, a); err == nil {
+		t.Fatal("reversed argument order merged silently")
+	}
+}
+
+func TestMergeModelsNilModel(t *testing.T) {
+	train, _, err := disthd.SyntheticBenchmark("DIABETES", 0.04, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := disthd.DefaultConfig()
+	cfg.Dim = 64
+	cfg.Iterations = 2
+	cfg.RegenRate = 0
+	cfg.Seed = 31
+	a, err := disthd.TrainWithConfig(train.X, train.Y, train.Classes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := disthd.MergeModels(a, nil); err == nil {
+		t.Fatal("nil model accepted (previously a panic)")
+	}
+	if _, err := disthd.MergeModels(nil); err == nil {
+		t.Fatal("lone nil model accepted")
+	}
+}

@@ -1,6 +1,9 @@
 package mat
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // This file holds the cache-blocked, register-tiled matrix kernels. The
 // destination-passing variants (MulTInto, MulInto) are the primitives; MulT
@@ -15,109 +18,174 @@ import "fmt"
 //     but remains L2-resident across all B tiles of the block, so B is
 //     streamed from memory only once per kernelMR rows of output.
 //
-// Within a block the micro-kernels compute a 2×4 (or 1×4, DotBatch) tile of
-// C per pass, amortizing each A load over four B rows and keeping eight
-// independent accumulator chains in flight.
+// Within a block the micro-kernels compute a 2×4 (or 1×4, DotBatch) tile
+// of C per pass, amortizing each A load over four B rows.
+//
+// # Lane semantics
+//
+// Every micro-kernel output element is accumulated as four strided fused
+// multiply-add lanes: panel element i feeds lane i%4 via math.FMA, and the
+// lanes reduce as (l0+l2) + (l1+l3) at the end of each panel. This is
+// exactly the dataflow of a 4-wide AVX2 VFMADD loop followed by the
+// standard extract/add horizontal sum, so on amd64 machines with AVX2+FMA
+// the inner loops dispatch to the assembly kernels in simd_amd64.s — same
+// bits, several times the throughput, which is what makes the batched
+// serving path (GEMM over cache-resident panels) far outrun per-request
+// matrix-vector encoding (bandwidth-bound, SIMD cannot help it much).
+// PanelDot reproduces any single output element of the blocked product
+// bitwise by replaying the same lanes in pure Go.
 const (
 	kernelKC = 1024
 	kernelMR = 8
 	kernelNR = 4
 )
 
+// laneFMA folds panel elements [i, n) of a·b into the four accumulator
+// lanes at lanes[o:o+4], continuing the stride-4 lane pattern from panel
+// index i.
+func laneFMA(a, b []float64, i, n, o int, lanes *[32]float64) {
+	for ; i < n; i++ {
+		lanes[o+i%4] = math.FMA(a[i], b[i], lanes[o+i%4])
+	}
+}
+
+// laneSum is the kernel's horizontal reduction of one 4-lane group — the
+// extract/add order of the AVX2 epilogue.
+func laneSum(l0, l1, l2, l3 float64) float64 { return (l0 + l2) + (l1 + l3) }
+
+// laneDot is the canonical single-element kernel: the inner product of one
+// panel accumulated in 4 strided FMA lanes. Every micro-kernel output
+// element — assembly or pure Go, tiled or remainder — equals laneDot over
+// its panels.
+func laneDot(a, b []float64) float64 {
+	n := len(a)
+	b = b[:n]
+	var l0, l1, l2, l3 float64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		l0 = math.FMA(a[i], b[i], l0)
+		l1 = math.FMA(a[i+1], b[i+1], l1)
+		l2 = math.FMA(a[i+2], b[i+2], l2)
+		l3 = math.FMA(a[i+3], b[i+3], l3)
+	}
+	if i < n {
+		l0 = math.FMA(a[i], b[i], l0)
+		if i+1 < n {
+			l1 = math.FMA(a[i+1], b[i+1], l1)
+		}
+		if i+2 < n {
+			l2 = math.FMA(a[i+2], b[i+2], l2)
+		}
+	}
+	return laneSum(l0, l1, l2, l3)
+}
+
+// laneDot2 computes two lane dots sharing b — the remainder-column kernel
+// for a pair of A rows.
+func laneDot2(a0, a1, b []float64) (s0, s1 float64) {
+	n := len(a0)
+	a1, b = a1[:n], b[:n]
+	var lanes [32]float64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		for k := 0; k < 4; k++ {
+			bv := b[i+k]
+			lanes[k] = math.FMA(a0[i+k], bv, lanes[k])
+			lanes[4+k] = math.FMA(a1[i+k], bv, lanes[4+k])
+		}
+	}
+	laneFMA(a0, b, i, n, 0, &lanes)
+	laneFMA(a1, b, i, n, 4, &lanes)
+	return laneSum(lanes[0], lanes[1], lanes[2], lanes[3]),
+		laneSum(lanes[4], lanes[5], lanes[6], lanes[7])
+}
+
 // DotBatch computes the four inner products of a with b0..b3 in a single
-// pass over a — the 4-wide micro-kernel behind MulTInto. All five slices
-// must have equal length.
+// pass over a — the 1×4 micro-kernel behind MulTInto. All five slices must
+// have equal length. Each result equals laneDot of its pair.
 func DotBatch(a, b0, b1, b2, b3 []float64) (s0, s1, s2, s3 float64) {
 	n := len(a)
 	if len(b0) != n || len(b1) != n || len(b2) != n || len(b3) != n {
 		panic("mat: DotBatch length mismatch")
 	}
-	b0, b1, b2, b3 = b0[:n], b1[:n], b2[:n], b3[:n]
-	for i, av := range a {
-		s0 += av * b0[i]
-		s1 += av * b1[i]
-		s2 += av * b2[i]
-		s3 += av * b3[i]
+	if useFMAKernels && n >= 4 {
+		var out [4]float64
+		dotBatch4AVX(&a[0], &b0[0], &b1[0], &b2[0], &b3[0], n/4, n%4, &laneMasks, &out)
+		return out[0], out[1], out[2], out[3]
 	}
-	return s0, s1, s2, s3
+	var lanes [32]float64
+	i := 0
+	b0, b1, b2, b3 = b0[:n], b1[:n], b2[:n], b3[:n]
+	for ; i+4 <= n; i += 4 {
+		for k := 0; k < 4; k++ {
+			av := a[i+k]
+			lanes[k] = math.FMA(av, b0[i+k], lanes[k])
+			lanes[4+k] = math.FMA(av, b1[i+k], lanes[4+k])
+			lanes[8+k] = math.FMA(av, b2[i+k], lanes[8+k])
+			lanes[12+k] = math.FMA(av, b3[i+k], lanes[12+k])
+		}
+	}
+	laneFMA(a, b0, i, n, 0, &lanes)
+	laneFMA(a, b1, i, n, 4, &lanes)
+	laneFMA(a, b2, i, n, 8, &lanes)
+	laneFMA(a, b3, i, n, 12, &lanes)
+	return laneSum(lanes[0], lanes[1], lanes[2], lanes[3]),
+		laneSum(lanes[4], lanes[5], lanes[6], lanes[7]),
+		laneSum(lanes[8], lanes[9], lanes[10], lanes[11]),
+		laneSum(lanes[12], lanes[13], lanes[14], lanes[15])
 }
 
 // dot2x4 is the 2×4 register tile: two A rows against four B rows, eight
-// accumulators, six loads per eight multiply-adds. Lengths must match
-// (callers slice to the current panel).
+// output elements, 32 FMA lanes in flight. Lengths must match (callers
+// slice to the current panel). Each result equals laneDot of its pair.
 func dot2x4(a0, a1, b0, b1, b2, b3 []float64) (r00, r01, r02, r03, r10, r11, r12, r13 float64) {
 	n := len(a0)
-	a1, b0, b1, b2, b3 = a1[:n], b0[:n], b1[:n], b2[:n], b3[:n]
+	if useFMAKernels && n >= 4 {
+		var out [8]float64
+		dot2x4AVX(&a0[0], &a1[0], &b0[0], &b1[0], &b2[0], &b3[0], n/4, n%4, &laneMasks, &out)
+		return out[0], out[1], out[2], out[3], out[4], out[5], out[6], out[7]
+	}
+	var lanes [32]float64
 	i := 0
-	for ; i+2 <= n; i += 2 {
-		a0v, a1v := a0[i], a1[i]
-		b0v, b1v, b2v, b3v := b0[i], b1[i], b2[i], b3[i]
-		r00 += a0v * b0v
-		r01 += a0v * b1v
-		r02 += a0v * b2v
-		r03 += a0v * b3v
-		r10 += a1v * b0v
-		r11 += a1v * b1v
-		r12 += a1v * b2v
-		r13 += a1v * b3v
-		a0v, a1v = a0[i+1], a1[i+1]
-		b0v, b1v, b2v, b3v = b0[i+1], b1[i+1], b2[i+1], b3[i+1]
-		r00 += a0v * b0v
-		r01 += a0v * b1v
-		r02 += a0v * b2v
-		r03 += a0v * b3v
-		r10 += a1v * b0v
-		r11 += a1v * b1v
-		r12 += a1v * b2v
-		r13 += a1v * b3v
+	a1, b0, b1, b2, b3 = a1[:n], b0[:n], b1[:n], b2[:n], b3[:n]
+	for ; i+4 <= n; i += 4 {
+		for k := 0; k < 4; k++ {
+			a0v, a1v := a0[i+k], a1[i+k]
+			b0v, b1v, b2v, b3v := b0[i+k], b1[i+k], b2[i+k], b3[i+k]
+			lanes[k] = math.FMA(a0v, b0v, lanes[k])
+			lanes[4+k] = math.FMA(a0v, b1v, lanes[4+k])
+			lanes[8+k] = math.FMA(a0v, b2v, lanes[8+k])
+			lanes[12+k] = math.FMA(a0v, b3v, lanes[12+k])
+			lanes[16+k] = math.FMA(a1v, b0v, lanes[16+k])
+			lanes[20+k] = math.FMA(a1v, b1v, lanes[20+k])
+			lanes[24+k] = math.FMA(a1v, b2v, lanes[24+k])
+			lanes[28+k] = math.FMA(a1v, b3v, lanes[28+k])
+		}
 	}
-	if i < n {
-		a0v, a1v := a0[i], a1[i]
-		b0v, b1v, b2v, b3v := b0[i], b1[i], b2[i], b3[i]
-		r00 += a0v * b0v
-		r01 += a0v * b1v
-		r02 += a0v * b2v
-		r03 += a0v * b3v
-		r10 += a1v * b0v
-		r11 += a1v * b1v
-		r12 += a1v * b2v
-		r13 += a1v * b3v
-	}
-	return
-}
-
-// seqDot is the strictly sequential inner product: one accumulator, in
-// index order. All MulTInto micro-kernel lanes accumulate in exactly this
-// order, which is what makes PanelDot able to reproduce blocked results
-// bitwise for a single element.
-func seqDot(a, b []float64) float64 {
-	b = b[:len(a)]
-	var s float64
-	for i, av := range a {
-		s += av * b[i]
-	}
-	return s
-}
-
-// seqDot2 computes two sequential-order inner products sharing b: two
-// independent accumulator chains, each in strict index order.
-func seqDot2(a0, a1, b []float64) (s0, s1 float64) {
-	n := len(a0)
-	a1, b = a1[:n], b[:n]
-	for i, av := range a0 {
-		bv := b[i]
-		s0 += av * bv
-		s1 += a1[i] * bv
-	}
-	return s0, s1
+	laneFMA(a0, b0, i, n, 0, &lanes)
+	laneFMA(a0, b1, i, n, 4, &lanes)
+	laneFMA(a0, b2, i, n, 8, &lanes)
+	laneFMA(a0, b3, i, n, 12, &lanes)
+	laneFMA(a1, b0, i, n, 16, &lanes)
+	laneFMA(a1, b1, i, n, 20, &lanes)
+	laneFMA(a1, b2, i, n, 24, &lanes)
+	laneFMA(a1, b3, i, n, 28, &lanes)
+	return laneSum(lanes[0], lanes[1], lanes[2], lanes[3]),
+		laneSum(lanes[4], lanes[5], lanes[6], lanes[7]),
+		laneSum(lanes[8], lanes[9], lanes[10], lanes[11]),
+		laneSum(lanes[12], lanes[13], lanes[14], lanes[15]),
+		laneSum(lanes[16], lanes[17], lanes[18], lanes[19]),
+		laneSum(lanes[20], lanes[21], lanes[22], lanes[23]),
+		laneSum(lanes[24], lanes[25], lanes[26], lanes[27]),
+		laneSum(lanes[28], lanes[29], lanes[30], lanes[31])
 }
 
 // PanelDot returns the inner product of a and b accumulated in the same
-// panel-wise, strictly sequential order as the MulTInto micro-kernels:
-// kernelKC-column panels summed left to right, sequentially within each
-// panel. Use it to recompute a single element of a blocked product (e.g.
-// one regenerated encoder dimension) bitwise-identically to the batch
-// kernel. For plain dot products prefer Dot, which is faster.
+// panel-wise lane order as the MulTInto micro-kernels: kernelKC-column
+// panels summed left to right, 4 strided FMA lanes within each panel. Use
+// it to recompute a single element of a blocked product (e.g. one
+// regenerated encoder dimension) bitwise-identically to the batch kernel.
+// For plain dot products prefer Dot, which skips the lane bookkeeping.
 func PanelDot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic("mat: PanelDot length mismatch")
@@ -128,7 +196,12 @@ func PanelDot(a, b []float64) float64 {
 		if k1 > len(a) {
 			k1 = len(a)
 		}
-		s += seqDot(a[k0:k1], b[k0:k1])
+		p := laneDot(a[k0:k1], b[k0:k1])
+		if k0 == 0 {
+			s = p
+		} else {
+			s += p
+		}
 	}
 	return s
 }
@@ -249,13 +322,13 @@ func mulTBlock(dst, a, b *Dense, i0, i1 int) {
 				}
 			}
 		}
-		// Remainder columns (d % 4) use sequential-order lanes so every
-		// output element, tiled or not, is reproducible by PanelDot.
+		// Remainder columns (d % 4) use the same 4-lane FMA kernels so
+		// every output element, tiled or not, is reproducible by PanelDot.
 		for ; j < d; j++ {
 			bj := b.Row(j)[k0:k1]
 			i := i0
 			for ; i+2 <= i1; i += 2 {
-				s0, s1 := seqDot2(a.Row(i)[k0:k1], a.Row(i + 1)[k0:k1], bj)
+				s0, s1 := laneDot2(a.Row(i)[k0:k1], a.Row(i + 1)[k0:k1], bj)
 				if first {
 					dst.Row(i)[j] = s0
 					dst.Row(i + 1)[j] = s1
@@ -265,7 +338,7 @@ func mulTBlock(dst, a, b *Dense, i0, i1 int) {
 				}
 			}
 			if i < i1 {
-				s := seqDot(a.Row(i)[k0:k1], bj)
+				s := laneDot(a.Row(i)[k0:k1], bj)
 				if first {
 					dst.Row(i)[j] = s
 				} else {

@@ -1,0 +1,69 @@
+package mat
+
+import "fmt"
+
+// Lease is a caller-owned scratch arena for a long-lived single-goroutine
+// worker — a serving replica, a benchmark loop — that needs several scratch
+// matrices with fixed peak shapes. It differs from the GetScratch pool in
+// two ways that matter on a serving hot path:
+//
+//   - Ownership is exclusive. A pooled Scratch must be fetched and released
+//     around every use, paying the sync.Pool synchronization each time; a
+//     Lease is carved once at worker start-up and the hot loop never touches
+//     a shared structure again.
+//   - Locality is guaranteed. All carved buffers share one backing
+//     allocation, so a replica's input rows, encoded batch and score matrix
+//     sit in one contiguous region instead of wherever the pool happened to
+//     have spare slabs.
+//
+// A Lease is NOT safe for concurrent use; give each goroutine its own.
+type Lease struct {
+	buf []float64
+	off int
+}
+
+// NewLease returns an arena holding capacity float64s to carve from.
+func NewLease(capacity int) *Lease {
+	if capacity < 0 {
+		panic(fmt.Sprintf("mat: NewLease(%d) negative capacity", capacity))
+	}
+	return &Lease{buf: make([]float64, capacity)}
+}
+
+// Floats carves the next n values off the arena. Carving past the arena's
+// capacity panics: lease sizes are computed from fixed model shapes at
+// construction time, so running out is a programmer error, not a runtime
+// condition (matching the package's hot-path dimension checks).
+func (l *Lease) Floats(n int) []float64 {
+	if n < 0 {
+		panic(fmt.Sprintf("mat: Lease.Floats(%d) negative length", n))
+	}
+	if l.off+n > len(l.buf) {
+		panic(fmt.Sprintf("mat: lease exhausted, want %d of %d remaining (capacity %d)",
+			n, len(l.buf)-l.off, len(l.buf)))
+	}
+	s := l.buf[l.off : l.off+n : l.off+n]
+	l.off += n
+	return s
+}
+
+// Dense carves a rows×cols matrix off the arena. The returned matrix shares
+// the arena's backing array; see Floats for the exhaustion contract.
+func (l *Lease) Dense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: Lease.Dense(%d, %d) negative dimensions", rows, cols))
+	}
+	return View(rows, cols, l.Floats(rows*cols))
+}
+
+// Reset rewinds the arena so it can be carved afresh. Buffers carved before
+// the Reset alias the same memory as buffers carved after it; Reset is for
+// workers that rebuild their whole scratch layout (e.g. after a model
+// reshape), not for interleaving live buffers.
+func (l *Lease) Reset() { l.off = 0 }
+
+// Cap returns the arena's total capacity in float64s.
+func (l *Lease) Cap() int { return len(l.buf) }
+
+// Used returns how many float64s have been carved since the last Reset.
+func (l *Lease) Used() int { return l.off }

@@ -1,0 +1,63 @@
+package mat
+
+import "testing"
+
+func TestLeaseCarving(t *testing.T) {
+	l := NewLease(24)
+	a := l.Floats(8)
+	m := l.Dense(4, 4)
+	if len(a) != 8 || m.Rows != 4 || m.Cols != 4 {
+		t.Fatalf("carved shapes wrong: len(a)=%d m=%dx%d", len(a), m.Rows, m.Cols)
+	}
+	if l.Used() != 24 || l.Cap() != 24 {
+		t.Fatalf("bookkeeping wrong: used=%d cap=%d", l.Used(), l.Cap())
+	}
+	// Carved regions must not alias each other.
+	for i := range a {
+		a[i] = 1
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("Floats and Dense carves alias")
+		}
+	}
+	// Full capacity carved: the slices must tile the arena exactly.
+	a[7] = 42
+	if m.Data[0] == 42 {
+		t.Fatal("adjacent carves overlap")
+	}
+}
+
+func TestLeaseCarveCapped(t *testing.T) {
+	l := NewLease(4)
+	s := l.Floats(2)
+	// The carved slice's capacity must be clipped so an append cannot
+	// silently grow into the next carve's region.
+	s = append(s, 99)
+	rest := l.Floats(2)
+	if rest[0] == 99 {
+		t.Fatal("append on a carved slice bled into the next carve")
+	}
+}
+
+func TestLeaseExhaustionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-carving did not panic")
+		}
+	}()
+	l := NewLease(4)
+	l.Floats(5)
+}
+
+func TestLeaseReset(t *testing.T) {
+	l := NewLease(6)
+	l.Floats(6)
+	l.Reset()
+	if l.Used() != 0 {
+		t.Fatalf("Used()=%d after Reset", l.Used())
+	}
+	if got := l.Floats(6); len(got) != 6 {
+		t.Fatalf("re-carve after Reset got %d", len(got))
+	}
+}

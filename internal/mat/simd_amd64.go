@@ -1,0 +1,62 @@
+package mat
+
+// This file gates the AVX2+FMA assembly micro-kernels (simd_amd64.s). The
+// assembly computes exactly the 4-lane FMA accumulation the pure-Go lane
+// kernels in kernels.go define, so enabling it changes speed, never bits;
+// machines without AVX2 (or other architectures) run the Go kernels and
+// produce identical results.
+
+// laneMasks holds the VMASKMOVPD masks for tails of 1, 2 and 3 elements
+// (rows of 4 lanes; all-ones opens a lane).
+var laneMasks = [12]int64{
+	-1, 0, 0, 0,
+	-1, -1, 0, 0,
+	-1, -1, -1, 0,
+}
+
+// dotBatch4AVX is the complete 1×4 micro-kernel: groups full 4-element
+// FMA steps of a against four B rows, a masked partial step for tail
+// (0..3) further elements, and the laneSum reduction into out.
+//
+//go:noescape
+func dotBatch4AVX(a, b0, b1, b2, b3 *float64, groups, tail int, masks *[12]int64, out *[4]float64)
+
+// dot2x4AVX is the complete 2×4 register tile (two A rows, four B rows,
+// eight finished dots in out).
+//
+//go:noescape
+func dot2x4AVX(a0, a1, b0, b1, b2, b3 *float64, groups, tail int, masks *[12]int64, out *[8]float64)
+
+// cpuid executes CPUID with the given leaf/subleaf.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (OS-enabled SIMD state).
+func xgetbv() (eax, edx uint32)
+
+// useFMAKernels reports whether the assembly kernels are usable: the CPU
+// must have AVX2 and FMA, and the OS must save the YMM state.
+var useFMAKernels = detectFMAKernels()
+
+// detectFMAKernels probes CPUID leaves 1 and 7 plus XCR0.
+func detectFMAKernels() bool {
+	const (
+		fmaBit     = 1 << 12 // leaf 1 ECX
+		osxsaveBit = 1 << 27 // leaf 1 ECX
+		avxBit     = 1 << 28 // leaf 1 ECX
+		avx2Bit    = 1 << 5  // leaf 7 EBX
+		ymmState   = 0x6     // XCR0 bits 1 (XMM) and 2 (YMM)
+	)
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, c, _ := cpuid(1, 0)
+	if c&(fmaBit|osxsaveBit|avxBit) != fmaBit|osxsaveBit|avxBit {
+		return false
+	}
+	if eax, _ := xgetbv(); eax&ymmState != ymmState {
+		return false
+	}
+	_, b, _, _ := cpuid(7, 0)
+	return b&avx2Bit != 0
+}

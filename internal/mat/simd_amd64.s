@@ -1,0 +1,181 @@
+// AVX2+FMA micro-kernels for the blocked A·Bᵀ product. Each kernel
+// accumulates 4 strided FMA lanes per output element, handles the
+// sub-group tail with a masked partial step, and finishes with the
+// horizontal reduction — one call returns finished dot products, so the
+// per-call overhead is a handful of instructions. The pure-Go lane
+// kernels in kernels.go reproduce every output bitwise (see laneDot);
+// the only tolerated divergence is the sign of a zero accumulator lane,
+// which the masked tail's FMA-with-zeros can flip from -0 to +0 (Go
+// float64 equality treats them as equal).
+
+#include "textflag.h"
+
+// hsum reduces the accumulator ymm into out+off: (l0+l2) + (l1+l3) — the
+// exact laneSum order of kernels.go.
+#define HSUM(acc, accx, tmp, off) \
+	VEXTRACTF128 $1, acc, tmp     \
+	VADDPD       tmp, accx, accx  \
+	VSHUFPD      $1, accx, accx, tmp \
+	VADDSD       tmp, accx, accx  \
+	VMOVSD       accx, off(DI)
+
+// func dotBatch4AVX(a, b0, b1, b2, b3 *float64, groups, tail int, masks *[12]int64, out *[4]float64)
+// The complete 1×4 micro-kernel: groups full 4-element FMA steps, a masked
+// partial step for the tail (tail in 0..3), and the horizontal reduction.
+// out[r] receives the finished lane dot of a with B row r.
+TEXT ·dotBatch4AVX(SB), NOSPLIT, $0-72
+	MOVQ a+0(FP), SI
+	MOVQ b0+8(FP), R8
+	MOVQ b1+16(FP), R9
+	MOVQ b2+24(FP), R10
+	MOVQ b3+32(FP), R11
+	MOVQ groups+40(FP), CX
+	MOVQ tail+48(FP), BX
+	MOVQ masks+56(FP), AX
+	MOVQ out+64(FP), DI
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	TESTQ CX, CX
+	JZ    db4tail
+
+db4loop:
+	VMOVUPD     (SI), Y4
+	VFMADD231PD (R8), Y4, Y0
+	VFMADD231PD (R9), Y4, Y1
+	VFMADD231PD (R10), Y4, Y2
+	VFMADD231PD (R11), Y4, Y3
+	ADDQ        $32, SI
+	ADDQ        $32, R8
+	ADDQ        $32, R9
+	ADDQ        $32, R10
+	ADDQ        $32, R11
+	DECQ        CX
+	JNZ         db4loop
+
+db4tail:
+	TESTQ BX, BX
+	JZ    db4done
+	DECQ  BX
+	SHLQ  $5, BX
+	VMOVUPD     (AX)(BX*1), Y14
+	VMASKMOVPD  (SI), Y14, Y4
+	VMASKMOVPD  (R8), Y14, Y5
+	VFMADD231PD Y5, Y4, Y0
+	VMASKMOVPD  (R9), Y14, Y5
+	VFMADD231PD Y5, Y4, Y1
+	VMASKMOVPD  (R10), Y14, Y5
+	VFMADD231PD Y5, Y4, Y2
+	VMASKMOVPD  (R11), Y14, Y5
+	VFMADD231PD Y5, Y4, Y3
+
+db4done:
+	HSUM(Y0, X0, X8, 0)
+	HSUM(Y1, X1, X8, 8)
+	HSUM(Y2, X2, X8, 16)
+	HSUM(Y3, X3, X8, 24)
+	VZEROUPPER
+	RET
+
+// func dot2x4AVX(a0, a1, b0, b1, b2, b3 *float64, groups, tail int, masks *[12]int64, out *[8]float64)
+// The complete 2×4 register tile: two A rows against four B rows, eight
+// output elements, 32 FMA lanes in flight, masked tail, horizontal
+// reduction. out layout: a0·b0, a0·b1, a0·b2, a0·b3, a1·b0, ..., a1·b3.
+TEXT ·dot2x4AVX(SB), NOSPLIT, $0-80
+	MOVQ a0+0(FP), SI
+	MOVQ a1+8(FP), DX
+	MOVQ b0+16(FP), R8
+	MOVQ b1+24(FP), R9
+	MOVQ b2+32(FP), R10
+	MOVQ b3+40(FP), R11
+	MOVQ groups+48(FP), CX
+	MOVQ tail+56(FP), BX
+	MOVQ masks+64(FP), AX
+	MOVQ out+72(FP), DI
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+	TESTQ CX, CX
+	JZ    d24tail
+
+d24loop:
+	VMOVUPD     (SI), Y8
+	VMOVUPD     (DX), Y9
+	VMOVUPD     (R8), Y10
+	VMOVUPD     (R9), Y11
+	VMOVUPD     (R10), Y12
+	VMOVUPD     (R11), Y13
+	VFMADD231PD Y10, Y8, Y0
+	VFMADD231PD Y11, Y8, Y1
+	VFMADD231PD Y12, Y8, Y2
+	VFMADD231PD Y13, Y8, Y3
+	VFMADD231PD Y10, Y9, Y4
+	VFMADD231PD Y11, Y9, Y5
+	VFMADD231PD Y12, Y9, Y6
+	VFMADD231PD Y13, Y9, Y7
+	ADDQ        $32, SI
+	ADDQ        $32, DX
+	ADDQ        $32, R8
+	ADDQ        $32, R9
+	ADDQ        $32, R10
+	ADDQ        $32, R11
+	DECQ        CX
+	JNZ         d24loop
+
+d24tail:
+	TESTQ BX, BX
+	JZ    d24done
+	DECQ  BX
+	SHLQ  $5, BX
+	VMOVUPD     (AX)(BX*1), Y14
+	VMASKMOVPD  (SI), Y14, Y8
+	VMASKMOVPD  (DX), Y14, Y9
+	VMASKMOVPD  (R8), Y14, Y10
+	VMASKMOVPD  (R9), Y14, Y11
+	VMASKMOVPD  (R10), Y14, Y12
+	VMASKMOVPD  (R11), Y14, Y13
+	VFMADD231PD Y10, Y8, Y0
+	VFMADD231PD Y11, Y8, Y1
+	VFMADD231PD Y12, Y8, Y2
+	VFMADD231PD Y13, Y8, Y3
+	VFMADD231PD Y10, Y9, Y4
+	VFMADD231PD Y11, Y9, Y5
+	VFMADD231PD Y12, Y9, Y6
+	VFMADD231PD Y13, Y9, Y7
+
+d24done:
+	HSUM(Y0, X0, X8, 0)
+	HSUM(Y1, X1, X8, 8)
+	HSUM(Y2, X2, X8, 16)
+	HSUM(Y3, X3, X8, 24)
+	HSUM(Y4, X4, X8, 32)
+	HSUM(Y5, X5, X8, 40)
+	HSUM(Y6, X6, X8, 48)
+	HSUM(Y7, X7, X8, 56)
+	VZEROUPPER
+	RET
+
+// func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL  eaxIn+0(FP), AX
+	MOVL  ecxIn+4(FP), CX
+	CPUID
+	MOVL  AX, eax+8(FP)
+	MOVL  BX, ebx+12(FP)
+	MOVL  CX, ecx+16(FP)
+	MOVL  DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL   CX, CX
+	XGETBV
+	MOVL   AX, eax+0(FP)
+	MOVL   DX, edx+4(FP)
+	RET

@@ -1,0 +1,22 @@
+//go:build !amd64
+
+package mat
+
+// Non-amd64 builds run the pure-Go lane kernels in kernels.go, which
+// produce bit-identical results to the assembly (see simd_amd64.go).
+
+// useFMAKernels is always false without the assembly kernels.
+var useFMAKernels = false
+
+// laneMasks is unused without the assembly kernels.
+var laneMasks [12]int64
+
+// dotBatch4AVX is unreachable when useFMAKernels is false.
+func dotBatch4AVX(a, b0, b1, b2, b3 *float64, groups, tail int, masks *[12]int64, out *[4]float64) {
+	panic("mat: SIMD kernel called on non-amd64 build")
+}
+
+// dot2x4AVX is unreachable when useFMAKernels is false.
+func dot2x4AVX(a0, a1, b0, b1, b2, b3 *float64, groups, tail int, masks *[12]int64, out *[8]float64) {
+	panic("mat: SIMD kernel called on non-amd64 build")
+}

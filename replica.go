@@ -1,0 +1,98 @@
+package disthd
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// Replica is a single-goroutine inference context: every buffer batched
+// prediction needs — the row-gathered input matrix, the encoded batch, and
+// the score matrix — is leased once from one contiguous arena
+// (mat.NewLease) and reused for the replica's lifetime, so the steady-state
+// serving loop allocates nothing and never contends on a shared pool.
+//
+// A Replica is shape-bound, not model-bound: it serves any model whose
+// (features, dim, classes) match the model it was created from, which is
+// exactly the compatibility contract serve.Swapper enforces for hot swaps.
+// That is what makes an in-flight model swap free: the worker keeps its
+// scratch and only the *Model pointer it passes to PredictBatch changes.
+//
+// A Replica must not be shared across goroutines; give each worker its own.
+type Replica struct {
+	features, dim, classes int
+	maxBatch               int
+	x, h, s                mat.Dense // views over the leased arena
+	xbuf, hbuf, sbuf       []float64
+}
+
+// NewReplica builds an inference context sized for batches of up to
+// maxBatch rows, shaped after m. maxBatch must be positive.
+func (m *Model) NewReplica(maxBatch int) (*Replica, error) {
+	if maxBatch <= 0 {
+		return nil, fmt.Errorf("disthd: NewReplica batch size %d, want > 0", maxBatch)
+	}
+	q, d, k := m.Features(), m.Dim(), m.Classes()
+	lease := mat.NewLease(maxBatch * (q + d + k))
+	r := &Replica{
+		features: q, dim: d, classes: k,
+		maxBatch: maxBatch,
+		xbuf:     lease.Floats(maxBatch * q),
+		hbuf:     lease.Floats(maxBatch * d),
+		sbuf:     lease.Floats(maxBatch * k),
+	}
+	return r, nil
+}
+
+// MaxBatch returns the largest chunk the replica predicts in one kernel
+// pass; larger inputs to PredictBatch are chunked transparently.
+func (r *Replica) MaxBatch() int { return r.maxBatch }
+
+// Compatible reports whether the replica's scratch fits m — same feature
+// width, hypervector dimensionality and class count.
+func (r *Replica) Compatible(m *Model) bool {
+	return m.Features() == r.features && m.Dim() == r.dim && m.Classes() == r.classes
+}
+
+// PredictBatch classifies rows through m into out (len(out) >= len(rows)),
+// running the zero-allocation EncodeBatchInto → PredictBatchInto kernel
+// path over the replica's leased scratch. Inputs longer than MaxBatch are
+// processed in MaxBatch-sized chunks. It returns the number of rows
+// written, which is len(rows) on success.
+func (r *Replica) PredictBatch(m *Model, rows [][]float64, out []int) (int, error) {
+	if !r.Compatible(m) {
+		return 0, fmt.Errorf("disthd: replica shaped %d/%d/%d cannot serve model shaped %d/%d/%d",
+			r.features, r.dim, r.classes, m.Features(), m.Dim(), m.Classes())
+	}
+	if len(out) < len(rows) {
+		return 0, fmt.Errorf("disthd: out has %d slots for %d rows", len(out), len(rows))
+	}
+	for i, row := range rows {
+		if len(row) != r.features {
+			return 0, fmt.Errorf("disthd: row %d has %d features, model expects %d", i, len(row), r.features)
+		}
+	}
+	done := 0
+	for done < len(rows) {
+		n := len(rows) - done
+		if n > r.maxBatch {
+			n = r.maxBatch
+		}
+		r.predictChunk(m, rows[done:done+n], out[done:done+n])
+		done += n
+	}
+	return done, nil
+}
+
+// predictChunk runs one ≤ maxBatch kernel pass. Rows are pre-validated.
+func (r *Replica) predictChunk(m *Model, rows [][]float64, out []int) {
+	n := len(rows)
+	r.x = mat.Dense{Rows: n, Cols: r.features, Data: r.xbuf[:n*r.features]}
+	r.h = mat.Dense{Rows: n, Cols: r.dim, Data: r.hbuf[:n*r.dim]}
+	r.s = mat.Dense{Rows: n, Cols: r.classes, Data: r.sbuf[:n*r.classes]}
+	for i, row := range rows {
+		copy(r.x.Row(i), row)
+	}
+	m.clf.Enc.EncodeBatchInto(&r.x, &r.h)
+	m.clf.Model.PredictBatchInto(&r.h, &r.s, out)
+}

@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	disthd "repro"
+)
+
+// benchModels lazily trains one paper-shaped model (UCIHAR-like: 561
+// features) per hypervector dimensionality, shared across the serving
+// benchmarks.
+var (
+	benchMu     sync.Mutex
+	benchModels = map[int]*benchState{}
+)
+
+// benchState is one trained model plus query rows.
+type benchState struct {
+	m    *disthd.Model
+	rows [][]float64
+}
+
+// benchFixtures returns the shared benchmark model for a dimensionality.
+func benchFixtures(b *testing.B, dim int) *benchState {
+	b.Helper()
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if s, ok := benchModels[dim]; ok {
+		return s
+	}
+	train, test, err := disthd.SyntheticBenchmark("UCIHAR", 0.10, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := disthd.DefaultConfig()
+	cfg.Dim = dim
+	cfg.Iterations = 2
+	cfg.Seed = 42
+	m, err := disthd.TrainWithConfig(train.X, train.Y, train.Classes, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := &benchState{m: m, rows: test.X}
+	benchModels[dim] = s
+	return s
+}
+
+// benchGrid is the (dimensionality, concurrency) sweep both serving
+// benchmarks run, so their sub-benchmark names line up for comparison.
+var benchGrid = []struct{ dim, conc int }{
+	{512, 1}, {512, 32}, {512, 64},
+	{1024, 32}, {1024, 64},
+	{2048, 32}, {2048, 64},
+}
+
+// BenchmarkServePerRequest is the baseline the Batcher must beat: every
+// concurrent caller runs Model.Predict itself — per-call encode buffers,
+// matrix-vector encoding, no batching.
+func BenchmarkServePerRequest(b *testing.B) {
+	for _, g := range benchGrid {
+		s := benchFixtures(b, g.dim)
+		b.Run(fmt.Sprintf("D=%d/conc=%d", g.dim, g.conc), func(b *testing.B) {
+			b.SetParallelism(g.conc)
+			var i atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					x := s.rows[int(i.Add(1))%len(s.rows)]
+					if _, err := s.m.Predict(x); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkServeBatched is the same closed-loop workload through the
+// coalescing Batcher: single-request callers, batched-GEMM execution.
+// MinFill is set to half the closed-loop population — the tuning a serving
+// operator would pick for a known concurrency level.
+func BenchmarkServeBatched(b *testing.B) {
+	for _, g := range benchGrid {
+		s := benchFixtures(b, g.dim)
+		b.Run(fmt.Sprintf("D=%d/conc=%d", g.dim, g.conc), func(b *testing.B) {
+			bat, err := NewBatcher(s.m, Options{
+				MaxBatch: 64,
+				MinFill:  minFill(g.conc),
+				MaxDelay: 2 * time.Millisecond,
+				Replicas: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer bat.Close()
+			b.SetParallelism(g.conc)
+			var i atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					x := s.rows[int(i.Add(1))%len(s.rows)]
+					if _, err := bat.Predict(x); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			snap := bat.Stats()
+			b.ReportMetric(snap.MeanBatchRows, "rows/batch")
+		})
+	}
+}
+
+// minFill picks the linger threshold for a concurrency level: wait for
+// half the closed-loop population, so the worker cannot starve itself by
+// draining before the clients are rescheduled.
+func minFill(conc int) int {
+	if conc < 2 {
+		return 1
+	}
+	return conc / 2
+}

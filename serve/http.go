@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	disthd "repro"
+)
+
+// Server exposes a Batcher over HTTP/JSON:
+//
+//	POST /predict        {"x":[...]}            -> {"class":3}
+//	POST /predict_batch  {"x":[[...],[...]]}    -> {"classes":[3,1]}
+//	GET  /healthz                               -> model shape + status
+//	GET  /stats                                 -> serve.Snapshot JSON
+//	POST /swap           <Model.Save bytes>     -> {"swaps":2}
+//
+// Prediction errors map to 400 (malformed input), 409 (/swap shape
+// mismatch) or 503 (closed batcher). Create one with NewServer, mount
+// Handler on any mux or call ListenAndServe, and Close to drain.
+type Server struct {
+	b   *Batcher
+	mux *http.ServeMux
+	hs  *http.Server
+}
+
+// NewServer wraps an existing Batcher. The caller keeps ownership of the
+// Batcher's lifecycle only if it never calls Server.Close (which closes
+// both).
+func NewServer(b *Batcher) *Server {
+	s := &Server{b: b, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /predict", s.handlePredict)
+	s.mux.HandleFunc("POST /predict_batch", s.handlePredictBatch)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("POST /swap", s.handleSwap)
+	// The http.Server is created here, not in ListenAndServe, so Close
+	// never races the assignment: Shutdown on a never-started server is a
+	// no-op and a subsequent ListenAndServe returns ErrServerClosed.
+	s.hs = &http.Server{Handler: s.mux}
+	return s
+}
+
+// New builds a Batcher for m with opts and wraps it in a Server — the
+// one-call path cmd/disthd-serve uses.
+func New(m *disthd.Model, opts Options) (*Server, error) {
+	b, err := NewBatcher(m, opts)
+	if err != nil {
+		return nil, err
+	}
+	return NewServer(b), nil
+}
+
+// Batcher returns the underlying Batcher (for stats or direct calls).
+func (s *Server) Batcher() *Batcher { return s.b }
+
+// Handler returns the route table, mountable under any mux.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe serves on addr until Close or a listener error. It blocks
+// like http.Server.ListenAndServe and returns http.ErrServerClosed after a
+// clean Close.
+func (s *Server) ListenAndServe(addr string) error {
+	s.hs.Addr = addr
+	return s.hs.ListenAndServe()
+}
+
+// Close drains the HTTP server and then the Batcher, answering every
+// in-flight request before returning.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	err := s.hs.Shutdown(ctx)
+	cancel()
+	s.b.Close()
+	return err
+}
+
+// writeJSON emits v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError emits a {"error": ...} body.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// predictRequest is the /predict body.
+type predictRequest struct {
+	X []float64 `json:"x"`
+}
+
+// handlePredict serves one coalesced prediction.
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req predictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
+		return
+	}
+	class, err := s.b.Predict(req.X)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"class": class})
+}
+
+// predictBatchRequest is the /predict_batch body.
+type predictBatchRequest struct {
+	X [][]float64 `json:"x"`
+}
+
+// handlePredictBatch serves a caller-provided batch directly.
+func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
+	var req predictBatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
+		return
+	}
+	classes, err := s.b.PredictBatch(req.X)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	if classes == nil {
+		classes = []int{}
+	}
+	writeJSON(w, http.StatusOK, map[string][]int{"classes": classes})
+}
+
+// handleHealthz reports liveness plus the served model's shape.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	m := s.b.Model()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"features": m.Features(),
+		"dim":      m.Dim(),
+		"classes":  m.Classes(),
+		"swaps":    s.b.Swapper().Swaps(),
+	})
+}
+
+// handleStats reports the serving counters.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.b.Stats())
+}
+
+// handleSwap hot-swaps the served model from a Model.Save payload: 409 for
+// a shape mismatch (retrain with matching shape), 400 for a payload that
+// does not decode at all.
+func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
+	if err := s.b.Swapper().SwapReader(r.Body); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrShapeMismatch) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]uint64{"swaps": s.b.Swapper().Swaps()})
+}
+
+// statusFor maps a prediction error to its HTTP status.
+func statusFor(err error) int {
+	if err == ErrClosed {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}

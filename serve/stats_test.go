@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistQuantileBounds(t *testing.T) {
+	var h hist
+	// 90 fast requests at ~1ms, 10 slow ones at ~100ms.
+	for i := 0; i < 90; i++ {
+		h.observe(uint64(time.Millisecond))
+	}
+	for i := 0; i < 10; i++ {
+		h.observe(uint64(100 * time.Millisecond))
+	}
+	// Power-of-two buckets: the quantile is an upper bound within 2× of the
+	// true value.
+	p50 := time.Duration(h.quantile(0.50))
+	if p50 < time.Millisecond || p50 > 2*time.Millisecond {
+		t.Fatalf("p50=%v want within (1ms, 2ms]", p50)
+	}
+	p99 := time.Duration(h.quantile(0.99))
+	if p99 < 100*time.Millisecond || p99 > 200*time.Millisecond {
+		t.Fatalf("p99=%v want within (100ms, 200ms]", p99)
+	}
+	// p90 sits right at the fast/slow boundary; either side's bucket bound
+	// is acceptable, anything else is not.
+	p90 := time.Duration(h.quantile(0.90))
+	if p90 < time.Millisecond || p90 > 200*time.Millisecond {
+		t.Fatalf("p90=%v escaped the observed range", p90)
+	}
+	wantMean := (90*float64(time.Millisecond) + 10*float64(100*time.Millisecond)) / 100
+	if got := h.mean(); got != wantMean {
+		t.Fatalf("mean=%v want %v", got, wantMean)
+	}
+}
+
+func TestHistEmptyAndExtremes(t *testing.T) {
+	var h hist
+	if h.quantile(0.99) != 0 || h.mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.observe(0)
+	if got := h.quantile(0.5); got != 0 {
+		t.Fatalf("zero observation lands in bucket 0, got %d", got)
+	}
+	// An absurd value must clamp into the last bucket, not index out of
+	// range.
+	var h2 hist
+	h2.observe(1 << 63)
+	if got := h2.quantile(0.5); got != 1<<(histBuckets-1) {
+		t.Fatalf("overflow observation got %d", got)
+	}
+}
+
+// TestStatsLatencyHistogram drives latencies through the full Stats path
+// the way a Batcher does, and checks the /stats quantiles land in the
+// right buckets.
+func TestStatsLatencyHistogram(t *testing.T) {
+	s := newStats()
+	for i := 0; i < 99; i++ {
+		s.observeLatency(500*time.Microsecond, false)
+	}
+	s.observeLatency(80*time.Millisecond, true)
+	s.observeBatch(10)
+	s.observeBatch(30)
+
+	snap := s.Snapshot()
+	if snap.Requests != 100 || snap.Errors != 1 || snap.Batches != 2 {
+		t.Fatalf("counters wrong: %+v", snap)
+	}
+	if snap.MeanBatchRows != 20 {
+		t.Fatalf("mean occupancy %v want 20", snap.MeanBatchRows)
+	}
+	if snap.LatencyMsP50 < 0.5 || snap.LatencyMsP50 > 1.1 {
+		t.Fatalf("p50=%vms want ~0.5–1ms bucket", snap.LatencyMsP50)
+	}
+	if snap.LatencyMsP99 < 0.5 || snap.LatencyMsP99 > 1.1 {
+		t.Fatalf("p99=%vms: 99th of 100 observations is still fast", snap.LatencyMsP99)
+	}
+	if snap.UptimeSeconds < 0 {
+		t.Fatalf("uptime went backwards: %v", snap.UptimeSeconds)
+	}
+	// Negative durations (clock steps) must clamp, not corrupt the sum.
+	s.observeLatency(-time.Second, false)
+	if s.Snapshot().Requests != 101 {
+		t.Fatal("clamped observation lost")
+	}
+}
