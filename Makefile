@@ -8,9 +8,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet doc-check build test race bench-smoke bench bench-kernels bench-serve
+.PHONY: ci fmt-check vet doc-check build test race bench-smoke drift-smoke bench bench-kernels bench-serve bench-drift
 
-ci: fmt-check vet doc-check build race bench-smoke
+ci: fmt-check vet doc-check build race bench-smoke drift-smoke
 
 # gofmt must be a no-op across the tree.
 fmt-check:
@@ -28,16 +28,23 @@ doc-check:
 build:
 	$(GO) build ./...
 
+# Tier-1 tests run with a shuffled execution order so inter-test state
+# dependencies cannot hide.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # One iteration of every benchmark: catches bit-rot in the perf harness
 # without paying for stable timings.
 bench-smoke:
 	$(GO) test ./... -run xxx -bench . -benchtime 1x
+
+# One CI-sized pass of the streaming drift benchmark, so the closed-loop
+# learner harness cannot rot.
+drift-smoke:
+	$(GO) run ./cmd/hdbench -driftgen -quick
 
 # The kernel and end-to-end benchmarks behind PERF.md, with allocation
 # reporting and enough repetitions for benchstat.
@@ -55,3 +62,8 @@ bench-kernels:
 bench-serve:
 	$(GO) test ./serve -run xxx -bench 'Serve(PerRequest|Batched)' \
 		-benchtime 2s -count 3
+
+# The streaming table of PERF.md: windowed accuracy of the frozen model vs
+# the drift-adaptive server over a drifting labeled stream.
+bench-drift:
+	$(GO) run ./cmd/hdbench -driftgen

@@ -5,6 +5,7 @@
 //
 //	disthd-serve -model model.bin -addr :8080
 //	disthd-serve -demo UCIHAR -dim 512 -addr :8080   # train a demo model
+//	disthd-serve -demo UCIHAR -learn -auto-retrain   # drift-adaptive server
 //
 // The server coalesces concurrent /predict calls into micro-batches and
 // runs them through the zero-allocation batched-GEMM kernels; /swap
@@ -12,9 +13,16 @@
 //
 //	curl -X POST --data-binary @new-model.bin localhost:8080/swap
 //
+// With -learn, the server also accepts labeled feedback and closes the
+// DistHD loop online: /learn ingests {"x":[...],"label":k}, windowed
+// accuracy and drift are tracked in /stats, and /retrain (or drift itself,
+// with -auto-retrain) warm-retrains a successor on the feedback window in
+// the background and hot-swaps it in — requests never wait on training.
+//
 // Endpoints: POST /predict, POST /predict_batch, GET /healthz, GET /stats,
-// POST /swap. See the serve package for the wire format, and
-// `hdbench -loadgen` for the matching closed-loop load generator.
+// POST /swap, POST /learn, POST /retrain. See the serve package for the
+// wire format, `hdbench -loadgen` for the closed-loop load generator, and
+// `hdbench -driftgen` for the streaming drift benchmark.
 package main
 
 import (
@@ -39,11 +47,20 @@ func main() {
 		demo     = flag.String("demo", "", "train a demo model on this synthetic benchmark (e.g. UCIHAR) instead of loading one")
 		dim      = flag.Int("dim", 512, "hypervector dimensionality for -demo")
 		scale    = flag.Float64("scale", 0.2, "dataset scale for -demo")
-		seed     = flag.Uint64("seed", 42, "random seed for -demo")
+		seed     = flag.Uint64("seed", 42, "random seed for -demo and retraining")
 		maxBatch = flag.Int("max-batch", 64, "flush a micro-batch at this many rows")
 		minFill  = flag.Int("min-fill", 1, "linger up to -max-delay for this many rows before flushing")
 		maxDelay = flag.Duration("max-delay", 2*time.Millisecond, "deadline for a lingering micro-batch")
 		replicas = flag.Int("replicas", 0, "serving replicas (0 = GOMAXPROCS)")
+
+		learn     = flag.Bool("learn", false, "enable online learning (/learn, /retrain, learner gauges in /stats)")
+		learnWin  = flag.Int("learn-window", 512, "labeled-feedback window retrains draw from")
+		recentWin = flag.Int("learn-recent", 64, "span of the windowed accuracy estimate")
+		driftThr  = flag.Float64("drift-threshold", 0.15, "windowed-accuracy drop below baseline that flags drift (0 re-selects the default; use e.g. 0.001 for a hair trigger)")
+		retrIters = flag.Int("retrain-iters", 5, "warm-retrain budget in pipeline iterations")
+		autoRetr  = flag.Bool("auto-retrain", false, "retrain in the background whenever drift is detected")
+		cooldown  = flag.Duration("retrain-cooldown", 10*time.Second, "minimum gap between drift-triggered retrains")
+		reservoir = flag.Bool("learn-reservoir", false, "reservoir-sample the feedback stream instead of a sliding window")
 	)
 	flag.Parse()
 
@@ -63,9 +80,35 @@ func main() {
 		log.Fatalf("disthd-serve: %v", err)
 	}
 
+	if *learn {
+		lr, err := serve.NewLearner(srv.Batcher().Swapper(), serve.LearnerOptions{
+			Window:         *learnWin,
+			Reservoir:      *reservoir,
+			RecentWindow:   *recentWin,
+			DriftThreshold: *driftThr,
+			Iterations:     *retrIters,
+			Auto:           *autoRetr,
+			Cooldown:       *cooldown,
+			Seed:           *seed,
+		})
+		if err != nil {
+			log.Fatalf("disthd-serve: %v", err)
+		}
+		srv.AttachLearner(lr)
+		log.Printf("online learning on (window=%d drift-threshold=%.2f auto-retrain=%v)",
+			*learnWin, *driftThr, *autoRetr)
+	}
+
+	// SIGTERM/SIGINT drain: Server.Close stops Batcher intake and flushes
+	// every accepted micro-batch BEFORE shutting the HTTP listener down, so
+	// no accepted request is dropped mid-batch. ListenAndServe returns as
+	// soon as the shutdown begins; main must then wait for the drain to
+	// finish or the process would exit with batches still in flight.
+	drained := make(chan struct{})
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	go func() {
+		defer close(drained)
 		<-stop
 		log.Printf("draining...")
 		if err := srv.Close(); err != nil {
@@ -78,6 +121,7 @@ func main() {
 	if err := srv.ListenAndServe(*addr); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("disthd-serve: %v", err)
 	}
+	<-drained
 	log.Printf("bye: %+v", srv.Batcher().Stats())
 }
 

@@ -1,0 +1,203 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	disthd "repro"
+	"repro/internal/dataset"
+	"repro/serve"
+)
+
+// driftgenOptions configures the closed-loop streaming drift benchmark.
+type driftgenOptions struct {
+	dataset      string
+	dim          int
+	scale        float64
+	seed         uint64
+	kinds        []dataset.DriftKind
+	windows      int
+	severity     float64
+	fraction     float64
+	learnWindow  int
+	recentWindow int
+	driftThresh  float64
+	retrainIters int
+	trainIters   int
+	quick        bool
+}
+
+// quickDefaults shrinks the run to CI-smoke size.
+func (o driftgenOptions) quickDefaults() driftgenOptions {
+	o.scale = 0.15
+	o.dim = 128
+	o.windows = 4
+	o.trainIters = 6
+	o.retrainIters = 3
+	o.learnWindow = 128
+	o.recentWindow = 32
+	if len(o.kinds) > 2 {
+		o.kinds = o.kinds[:2]
+	}
+	return o
+}
+
+// parseDriftKinds parses a comma-separated list of drift kind names.
+func parseDriftKinds(s string) ([]dataset.DriftKind, error) {
+	var out []dataset.DriftKind
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(part) {
+		case "shift":
+			out = append(out, dataset.DriftShift)
+		case "scale":
+			out = append(out, dataset.DriftScale)
+		case "noise":
+			out = append(out, dataset.DriftNoise)
+		default:
+			return nil, fmt.Errorf("unknown drift kind %q (want shift, scale or noise)", part)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no drift kinds given")
+	}
+	return out, nil
+}
+
+// driftKindName names a kind for the report.
+func driftKindName(k dataset.DriftKind) string {
+	switch k {
+	case dataset.DriftShift:
+		return "shift"
+	case dataset.DriftScale:
+		return "scale"
+	case dataset.DriftNoise:
+		return "noise"
+	default:
+		return "unknown"
+	}
+}
+
+// runDriftgen measures the value of drift-adaptive retraining closed-loop:
+// one model is trained, then a drifting labeled stream (dataset.DriftStream
+// over the test split) is served twice — once by the frozen model, once by
+// the full adaptive server stack (serve.Batcher + serve.Learner with
+// auto-retrain: every sample's label is fed back, drift detection triggers
+// a warm pipeline retrain in the background, and the successor is hot-
+// swapped in). Windowed accuracy for both is reported per stream window.
+// In-flight retrains are awaited at window boundaries so the table is
+// stable run-to-run; production serving has no such barrier.
+func runDriftgen(o driftgenOptions, w io.Writer) error {
+	if o.quick {
+		o = o.quickDefaults()
+	}
+	train, test, err := dataset.Load(o.dataset, o.scale, o.seed)
+	if err != nil {
+		return err
+	}
+	if o.windows < 1 || test.N()/o.windows < 1 {
+		return fmt.Errorf("stream of %d samples cannot fill %d evaluation windows; lower -drift-windows or raise -drift-scale", test.N(), o.windows)
+	}
+	cfg := disthd.DefaultConfig()
+	cfg.Dim = o.dim
+	cfg.Seed = o.seed
+	cfg.Iterations = o.trainIters
+	fmt.Fprintf(w, "driftgen: training %s model (D=%d, %d train samples, %d iterations)...\n",
+		o.dataset, o.dim, train.N(), o.trainIters)
+	trainX := make([][]float64, train.N())
+	for i := range trainX {
+		trainX[i] = train.X.Row(i)
+	}
+	base, err := disthd.TrainWithConfig(trainX, train.Y, train.Classes, cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "stream: %d samples, %d windows, severity 0→%.1f over %.0f%% of features\n",
+		test.N(), o.windows, o.severity, 100*o.fraction)
+
+	for _, kind := range o.kinds {
+		if err := driftgenKind(o, kind, base, test, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// driftgenKind streams one DriftKind through the frozen and adaptive
+// serving paths and prints the windowed comparison.
+func driftgenKind(o driftgenOptions, kind dataset.DriftKind, base *disthd.Model, test *dataset.Dataset, w io.Writer) error {
+	stream, err := dataset.NewDriftStream(test, kind, o.fraction, o.severity, o.seed^0xd21f7)
+	if err != nil {
+		return err
+	}
+
+	bat, err := serve.NewBatcher(base, serve.Options{MaxBatch: 32, Replicas: 1})
+	if err != nil {
+		return err
+	}
+	defer bat.Close()
+	learner, err := serve.NewLearner(bat.Swapper(), serve.LearnerOptions{
+		Window:         o.learnWindow,
+		RecentWindow:   o.recentWindow,
+		DriftThreshold: o.driftThresh,
+		Iterations:     o.retrainIters,
+		Auto:           true,
+		Cooldown:       time.Millisecond,
+		Seed:           o.seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "\ndrift kind: %s\n", driftKindName(kind))
+	fmt.Fprintf(w, "%8s %10s %14s %16s %10s %10s\n",
+		"window", "severity", "frozen acc", "adaptive acc", "retrains", "drift")
+
+	winLen := stream.Len() / o.windows
+	var sumFrozen, sumAdaptive float64
+	var adaptiveWins int
+	pos := 0
+	for win := 0; win < o.windows; win++ {
+		var frozenOK, adaptiveOK, n int
+		for ; n < winLen || (win == o.windows-1 && stream.Remaining() > 0); n++ {
+			x, label, ok := stream.Next()
+			if !ok {
+				break
+			}
+			if p, err := base.Predict(x); err == nil && p == label {
+				frozenOK++
+			}
+			p, err := bat.Predict(x)
+			if err != nil {
+				return err
+			}
+			if p == label {
+				adaptiveOK++
+			}
+			if _, err := learner.Feed(x, label); err != nil {
+				return err
+			}
+		}
+		pos += n
+		// Let an in-flight retrain publish before the next window so the
+		// table is deterministic-ish; serving continues during retrains in
+		// production.
+		learner.Wait()
+		snap := learner.Snapshot()
+		fa := float64(frozenOK) / float64(n)
+		aa := float64(adaptiveOK) / float64(n)
+		sumFrozen += fa
+		sumAdaptive += aa
+		if aa > fa {
+			adaptiveWins++
+		}
+		fmt.Fprintf(w, "%8d %10.2f %14.3f %16.3f %10d %10v\n",
+			win, stream.Severity(pos-1), fa, aa, snap.Retrains, snap.Drift)
+	}
+	fmt.Fprintf(w, "%8s %10s %14.3f %16.3f   adaptive wins %d/%d windows\n",
+		"mean", "", sumFrozen/float64(o.windows), sumAdaptive/float64(o.windows),
+		adaptiveWins, o.windows)
+	return nil
+}

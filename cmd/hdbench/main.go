@@ -9,11 +9,18 @@
 //	hdbench -exp all -scale 0.35      # everything, EXPERIMENTS.md scale
 //	hdbench -exp fig8 -quick          # CI-sized smoke run
 //	hdbench -loadgen -concurrency 1,8,32,64 -duration 2s
+//	hdbench -driftgen -drift-kinds shift,scale -drift-windows 8
 //
 // -loadgen runs the closed-loop serving benchmark: it measures per-request
 // Predict against the micro-batching serve.Batcher at each concurrency
 // level and reports throughput plus the batching speedup (the PERF.md
 // serving table).
+//
+// -driftgen runs the closed-loop streaming drift benchmark: a labeled
+// stream whose distribution drifts (dataset.DriftStream) is served by a
+// frozen model and by the adaptive server (serve.Learner auto-retraining
+// behind the Swapper), reporting windowed accuracy for both — the PERF.md
+// streaming table. -quick shrinks it to a CI smoke run.
 //
 // Experiment output is plain text, one table per experiment, in the same
 // layout the paper reports. See EXPERIMENTS.md for the recorded
@@ -45,8 +52,51 @@ func main() {
 		lgBatch = flag.Int("max-batch", 64, "loadgen: batcher MaxBatch")
 		lgDelay = flag.Duration("max-delay", 2*time.Millisecond, "loadgen: batcher MaxDelay")
 		lgScale = flag.Float64("loadgen-scale", 0.2, "loadgen: dataset scale")
+
+		driftgen  = flag.Bool("driftgen", false, "run the closed-loop streaming drift benchmark instead of an experiment")
+		dgKinds   = flag.String("drift-kinds", "shift,scale,noise", "driftgen: comma-separated drift kinds")
+		dgWindows = flag.Int("drift-windows", 8, "driftgen: evaluation windows over the stream")
+		dgSev     = flag.Float64("drift-severity", 3.0, "driftgen: drift severity reached at stream end (features are z-scored)")
+		dgFrac    = flag.Float64("drift-fraction", 0.33, "driftgen: fraction of features the drift touches")
+		dgDataset = flag.String("drift-dataset", "PAMAP2", "driftgen: synthetic benchmark to stream")
+		dgDim     = flag.Int("drift-dim", 256, "driftgen: hypervector dimensionality")
+		dgScale   = flag.Float64("drift-scale", 0.6, "driftgen: dataset scale")
+		dgWindow  = flag.Int("drift-learn-window", 256, "driftgen: learner feedback window")
+		dgRecent  = flag.Int("drift-learn-recent", 32, "driftgen: learner windowed-accuracy span")
+		dgThresh  = flag.Float64("drift-threshold", 0.10, "driftgen: windowed-accuracy drop that triggers a retrain")
+		dgRetrain = flag.Int("drift-retrain-iters", 6, "driftgen: warm-retrain pipeline iterations")
+		dgTrain   = flag.Int("drift-train-iters", 12, "driftgen: cold-start training iterations")
 	)
 	flag.Parse()
+
+	if *driftgen {
+		kinds, err := parseDriftKinds(*dgKinds)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hdbench: %v\n", err)
+			os.Exit(2)
+		}
+		o := driftgenOptions{
+			dataset:      *dgDataset,
+			dim:          *dgDim,
+			scale:        *dgScale,
+			seed:         *seed,
+			kinds:        kinds,
+			windows:      *dgWindows,
+			severity:     *dgSev,
+			fraction:     *dgFrac,
+			learnWindow:  *dgWindow,
+			recentWindow: *dgRecent,
+			driftThresh:  *dgThresh,
+			retrainIters: *dgRetrain,
+			trainIters:   *dgTrain,
+			quick:        *quick,
+		}
+		if err := runDriftgen(o, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "hdbench: driftgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *loadgen {
 		conc, err := parseConcurrency(*lgConc)

@@ -20,11 +20,19 @@
 //     ReadCSV/LoadCSVFile bring in real data.
 //   - Model.NewReplica builds the per-goroutine zero-allocation batch
 //     inference context that online serving is built on.
+//   - OnlineLearner closes the loop at deployment time: a bounded window
+//     of labeled feedback, windowed accuracy with drift detection, and
+//     Model.Retrain — a warm rerun of the train → score → regenerate
+//     pipeline on the window that produces a successor model while the
+//     original keeps serving.
 //
 // Online serving lives in the serve subpackage: a micro-batching Batcher
 // that gives concurrent single-request callers batched-GEMM throughput, an
-// atomic model hot-swap (Swapper), and an HTTP/JSON Server — run it with
-// cmd/disthd-serve and load-test it with `hdbench -loadgen`.
+// atomic model hot-swap (Swapper), an HTTP/JSON Server, and a Learner that
+// wires OnlineLearner behind the endpoints (/learn, /retrain) with
+// background drift-adaptive retraining — run it with cmd/disthd-serve
+// (-learn -auto-retrain), load-test it with `hdbench -loadgen`, and
+// measure the adaptation win with `hdbench -driftgen`.
 //
 // The research internals — the baselines (NeuralHD, baselineHD, MLP, SVM),
 // the experiment harness that regenerates every table and figure of the

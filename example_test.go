@@ -148,3 +148,46 @@ func ExampleModel_Deploy() {
 	// accuracy survives 1% flips: true
 	// restore heals exactly: true
 }
+
+// ExampleOnlineLearner closes the loop at deployment time: feedback flows
+// into a bounded window, windowed accuracy is tracked against the
+// post-deployment baseline, and a warm retrain produces a successor model
+// while the original stays untouched.
+func ExampleOnlineLearner() {
+	X, y := exampleData(60, 8)
+	model, err := disthd.Train(X, y, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	learner, err := disthd.NewOnlineLearner(model, disthd.OnlineConfig{
+		Window:       32, // labeled feedback kept for retraining
+		RecentWindow: 16, // span of the windowed accuracy estimate
+		Retrain:      disthd.RetrainConfig{Iterations: 2},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Deployed: labeled feedback trickles in.
+	for i := range X {
+		if _, err := learner.Observe(X[i], y[i]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("window holds %d samples\n", learner.WindowLen())
+	fmt.Printf("windowed accuracy ≥ 0.9: %v\n", learner.WindowAccuracy() >= 0.9)
+
+	// Warm-retrain a successor on the window; the original model is not
+	// mutated, so it can keep serving until the successor is published.
+	next, err := learner.Retrain()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("successor shares shape: %v\n",
+		next.Dim() == model.Dim() && next.Classes() == model.Classes())
+	// Output:
+	// window holds 32 samples
+	// windowed accuracy ≥ 0.9: true
+	// successor shares shape: true
+}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/encoding"
 	"repro/internal/mat"
 	"repro/internal/model"
@@ -56,104 +54,16 @@ func (s *TrainStats) FinalTrainAcc() float64 {
 // labels y: encode once, then iterate adaptive learning → top-2 bucketing →
 // Algorithm 2 dimension scoring → regeneration. Only the regenerated
 // columns of the encoded batch are recomputed between iterations.
+//
+// Train is Pipeline.Run over a cold NewPipeline; drive the stages directly
+// for warm-start retraining (Resume) or custom schedules.
 func Train(enc encoding.Regenerable, X *mat.Dense, y []int, classes int, cfg Config) (*Classifier, *TrainStats, error) {
-	if err := cfg.Validate(); err != nil {
+	p, err := NewPipeline(enc, X, y, classes, cfg)
+	if err != nil {
 		return nil, nil, err
 	}
-	if X.Rows != len(y) {
-		return nil, nil, fmt.Errorf("disthd: %d samples but %d labels", X.Rows, len(y))
-	}
-	if X.Rows == 0 {
-		return nil, nil, fmt.Errorf("disthd: empty training set")
-	}
-	if enc.Dim() != cfg.Dim {
-		return nil, nil, fmt.Errorf("disthd: encoder dim %d != config dim %d", enc.Dim(), cfg.Dim)
-	}
-	if enc.Features() != X.Cols {
-		return nil, nil, fmt.Errorf("disthd: encoder expects %d features, data has %d", enc.Features(), X.Cols)
-	}
-	for i, label := range y {
-		if label < 0 || label >= classes {
-			return nil, nil, fmt.Errorf("disthd: label %d at row %d outside [0,%d)", label, i, classes)
-		}
-	}
-
-	m := model.New(classes, cfg.Dim)
-	H := enc.EncodeBatch(X)
-	stats := &TrainStats{}
-	best := -1.0
-	stall := 0
-	regenBest := -1.0
-	regenStall := 0
-	regenFrozen := false
-
-	// One Trainer across all iterations: the shuffle order, score scratch,
-	// and RNG are reused, so the steady-state train/regenerate loop
-	// allocates nothing beyond Algorithm 2's per-iteration bookkeeping.
-	trainer := model.NewTrainer(m, cfg.Seed)
-
-	for iter := 0; iter < cfg.Iterations; iter++ {
-		tc := cfg.trainConfig(iter)
-		trainer.Reseed(tc.Seed)
-		var acc float64
-		for e := 0; e < tc.Epochs; e++ {
-			acc = trainer.Epoch(H, y, tc.LearningRate)
-		}
-		is := IterStats{Iter: iter, TrainAcc: acc}
-
-		// Early-stopping bookkeeping happens before regeneration so a
-		// converged model is not perturbed by one final regeneration.
-		if cfg.Patience > 0 {
-			if acc > best+1e-9 {
-				best = acc
-				stall = 0
-			} else {
-				stall++
-			}
-			if stall >= cfg.Patience {
-				stats.Iters = append(stats.Iters, is)
-				stats.Converged = true
-				break
-			}
-		}
-
-		// Freeze the encoder once training accuracy plateaus (see
-		// Config.RegenPatience).
-		if cfg.RegenPatience > 0 && !regenFrozen {
-			if acc > regenBest+1e-9 {
-				regenBest = acc
-				regenStall = 0
-			} else {
-				regenStall++
-				if regenStall >= cfg.RegenPatience {
-					regenFrozen = true
-				}
-			}
-		}
-
-		// No regeneration after the last iteration: the returned model must
-		// be trained under its final encoder.
-		if iter < cfg.Iterations-1 && !regenFrozen {
-			ds := IdentifyUndesired(H, y, m, &cfg)
-			is.NumCorrect = ds.NumCorrect
-			is.NumPartial = ds.NumPartial
-			is.NumIncorrect = ds.NumIncorrect
-			if len(ds.Undesired) > 0 {
-				enc.Regenerate(ds.Undesired)
-				enc.EncodeDimsBatch(X, ds.Undesired, H)
-				m.ZeroDims(ds.Undesired)
-				if cfg.WarmStart {
-					warmStartDims(m, H, y, ds.Undesired)
-				}
-				is.Regenerated = len(ds.Undesired)
-				stats.TotalRegenerated += len(ds.Undesired)
-			}
-		}
-		stats.Iters = append(stats.Iters, is)
-	}
-
-	stats.EffectiveDim = cfg.Dim + stats.TotalRegenerated
-	return &Classifier{Enc: enc, Model: m, Cfg: cfg}, stats, nil
+	clf, stats := p.Run()
+	return clf, stats, nil
 }
 
 // warmStartDims seeds the class weights of freshly regenerated dimensions
@@ -187,17 +97,40 @@ func warmStartDims(m *model.Model, H *mat.Dense, y []int, dims []int) {
 	m.RefreshNorms()
 }
 
-// Update performs one online adaptive-learning step (Algorithm 1) on a
-// single labeled sample: encode, and if the prediction is wrong, weaken
-// the wrongly-winning class and strengthen the true class. Returns whether
-// the pre-update prediction was already correct. This is the on-device
-// continual-learning primitive for edge deployments; it never regenerates
-// dimensions (regeneration needs batch statistics).
+// Update performs one online adaptive-learning step on a single labeled
+// sample: encode, then apply model.AdaptiveStep — the single Algorithm 1
+// update rule shared by every training path in this repository (batch
+// epochs via model.Trainer, OnlineHD-style passes via model.FitOnline, and
+// this per-sample entry point). Update itself owns only the encode; the
+// learning rule lives in internal/model and is never reimplemented here.
+//
+// The returned bool is AdaptiveStep's verdict on the PRE-update prediction:
+// true means the sample was already classified correctly and no weights
+// changed; false means it was misclassified, so the wrongly-winning class
+// was weakened and the true class strengthened (each scaled by the sample's
+// novelty, 1 − δ). Callers stream it into windowed accuracy estimates —
+// it is the "free" accuracy signal online learning gets before adapting.
+//
+// This is the on-device continual-learning primitive for edge deployments;
+// it never regenerates dimensions (regeneration needs batch statistics —
+// run Resume over a window for that).
 func (c *Classifier) Update(x []float64, label int, lr float64) bool {
 	h := make([]float64, c.Enc.Dim())
 	c.Enc.Encode(x, h)
 	scratch := make([]float64, c.Model.Classes())
 	return c.Model.AdaptiveStep(h, label, lr, scratch)
+}
+
+// CloneDetached returns a deep copy of the classifier — cloned class
+// weights plus a detached encoder whose regeneration stream restarts from
+// regenSeed. The copy can be retrained (Resume) while the original keeps
+// serving; nothing is shared between the two.
+func (c *Classifier) CloneDetached(regenSeed uint64) *Classifier {
+	return &Classifier{
+		Enc:   c.Enc.CloneDetached(regenSeed),
+		Model: c.Model.Clone(),
+		Cfg:   c.Cfg,
+	}
 }
 
 // Predict classifies a single raw feature vector.

@@ -184,3 +184,85 @@ func TestDriftResetReplaysDeterministically(t *testing.T) {
 		t.Fatal("replay length differs")
 	}
 }
+
+// TestDriftSeverityMonotoneAtBoundaries pins the severity ramp contract at
+// the stream's edges: severity starts at exactly 0, ends at exactly
+// maxSeverity, never decreases in between, and the single-sample stream —
+// where the i/(N−1) ramp degenerates — reports maxSeverity rather than
+// dividing by zero.
+func TestDriftSeverityMonotoneAtBoundaries(t *testing.T) {
+	src := driftSource(t)
+	const maxSev = 2.5
+	s, err := NewDriftStream(src, DriftShift, 0.5, maxSev, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := s.Len()
+	if got := s.Severity(0); got != 0 {
+		t.Fatalf("severity at stream start = %v, want exactly 0", got)
+	}
+	if got := s.Severity(n - 1); got != maxSev {
+		t.Fatalf("severity at stream end = %v, want exactly %v", got, maxSev)
+	}
+	prev := math.Inf(-1)
+	for i := 0; i < n; i++ {
+		sev := s.Severity(i)
+		if sev < prev {
+			t.Fatalf("severity decreased at position %d: %v -> %v", i, prev, sev)
+		}
+		if sev < 0 || sev > maxSev {
+			t.Fatalf("severity %v at position %d outside [0, %v]", sev, i, maxSev)
+		}
+		prev = sev
+	}
+
+	// Degenerate single-sample stream: the ramp has no interior, severity
+	// must clamp to the maximum instead of dividing by zero.
+	one := src.Subset([]int{0})
+	s1, err := NewDriftStream(one, DriftScale, 0.5, maxSev, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s1.Severity(0); got != maxSev {
+		t.Fatalf("single-sample severity = %v, want %v", got, maxSev)
+	}
+
+	// The consumed stream must apply exactly the boundary severities: the
+	// first emitted sample is uncorrupted, the last carries the full shift.
+	s2, err := NewDriftStream(src, DriftShift, 0.5, maxSev, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _, ok := s2.Next()
+	if !ok {
+		t.Fatal("stream empty")
+	}
+	for j, v := range first {
+		if v != src.X.Row(0)[j] {
+			t.Fatalf("first sample corrupted at feature %d: %v != %v", j, v, src.X.Row(0)[j])
+		}
+	}
+	var last []float64
+	for {
+		x, _, ok := s2.Next()
+		if !ok {
+			break
+		}
+		last = x
+	}
+	want := mat.New(1, src.Features())
+	copy(want.Row(0), src.X.Row(src.N()-1))
+	shifted := 0
+	for j, v := range last {
+		switch {
+		case v == want.Row(0)[j]:
+		case v == want.Row(0)[j]+maxSev:
+			shifted++
+		default:
+			t.Fatalf("last sample feature %d shifted by %v, want 0 or %v", j, v-want.Row(0)[j], maxSev)
+		}
+	}
+	if shifted == 0 {
+		t.Fatal("no feature carried the full end-of-stream shift")
+	}
+}

@@ -65,6 +65,11 @@ type Regenerable interface {
 	// one compact blocked GEMM over the gathered base rows — instead of
 	// re-encoding everything. Values match EncodeDims bitwise.
 	EncodeDimsBatch(X *mat.Dense, dims []int, H *mat.Dense)
+	// CloneDetached returns a deep copy encoding identically to the
+	// original, whose regeneration stream restarts from regenSeed — the
+	// primitive behind background retraining: the clone can regenerate
+	// dimensions freely while the original keeps serving untouched.
+	CloneDetached(regenSeed uint64) Regenerable
 }
 
 // checkBatch validates a batch encode request, returning the shared shape.
@@ -339,6 +344,16 @@ func baseRows(b *mat.Dense) int {
 	return b.Rows
 }
 
+// CloneDetached returns a deep copy of the encoder whose regeneration
+// stream restarts from regenSeed (see Regenerable.CloneDetached).
+func (e *RBF) CloneDetached(regenSeed uint64) Regenerable {
+	c, err := NewRBFFromParams(e.base, e.phase, e.sigma, regenSeed)
+	if err != nil {
+		panic(err) // the source encoder's params are valid by construction
+	}
+	return c
+}
+
 // BaseRow exposes a read-only view of dimension d's base vector, used by
 // tests to verify regeneration semantics.
 func (e *RBF) BaseRow(d int) []float64 { return e.base.Row(d) }
@@ -441,6 +456,12 @@ func (e *Linear) EncodeDims(x []float64, dims []int, dst []float64) {
 		}
 		dst[j] = v
 	}
+}
+
+// CloneDetached returns a deep copy of the encoder whose regeneration
+// stream restarts from regenSeed (see Regenerable.CloneDetached).
+func (e *Linear) CloneDetached(regenSeed uint64) Regenerable {
+	return &Linear{base: e.base.Clone(), bipolar: e.bipolar, regen: rng.New(regenSeed)}
 }
 
 // EncodeDimsBatch patches the listed columns of H in place via the shared

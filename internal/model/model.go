@@ -218,6 +218,26 @@ func (m *Model) AdaptiveStep(h []float64, y int, lr float64, scratch []float64) 
 	return false
 }
 
+// OnlineStep applies the OnlineHD-style single-pass rule for one encoded
+// sample: the error-driven half is exactly AdaptiveStep (weaken the
+// wrongly-winning class, strengthen the true class), and on top of it the
+// true class additionally memorizes every ALREADY-CORRECT sample scaled by
+// its novelty: C_y += η(1 − δ_y)·H. This is the one place the
+// "memorize everything" initialization rule is defined; FitOnline's initial
+// pass is a shuffled loop of OnlineStep calls. Returns AdaptiveStep's
+// verdict: whether the pre-update prediction was already correct.
+func (m *Model) OnlineStep(h []float64, y int, lr float64, scratch []float64) bool {
+	correct := m.AdaptiveStep(h, y, lr, scratch)
+	if correct {
+		// scratch still holds the pre-update scores AdaptiveStep computed;
+		// δ_y = scratch[y]. A misclassified sample already had its true
+		// class strengthened by this exact term inside AdaptiveStep.
+		mat.Axpy(m.Weights.Row(y), lr*(1-scratch[y]), h)
+		m.refreshNorm(y)
+	}
+	return correct
+}
+
 // TrainConfig controls Fit.
 type TrainConfig struct {
 	// LearningRate is η in Algorithm 1.
@@ -333,9 +353,9 @@ func Fit(m *Model, H *mat.Dense, y []int, cfg TrainConfig) (*TrainResult, error)
 // cfg.Epochs of adaptive refinement. Unlike the purely error-driven
 // Algorithm 1, the initial pass updates the true class on EVERY sample,
 // scaled by novelty: C_y += η(1−δ_y)·H, and additionally weakens a
-// wrongly-winning class. This converges faster from scratch at the cost
-// of some saturation — the trade-off the iterative-vs-single-pass HDC
-// literature explores.
+// wrongly-winning class (the OnlineStep rule). This converges faster from
+// scratch at the cost of some saturation — the trade-off the
+// iterative-vs-single-pass HDC literature explores.
 func FitOnline(m *Model, H *mat.Dense, y []int, cfg TrainConfig) (*TrainResult, error) {
 	if H.Rows != len(y) {
 		return nil, fmt.Errorf("model: %d samples but %d labels", H.Rows, len(y))
@@ -350,18 +370,9 @@ func FitOnline(m *Model, H *mat.Dense, y []int, cfg TrainConfig) (*TrainResult, 
 	r := rng.New(cfg.Seed ^ 0x0411e)
 	correct := 0
 	for _, i := range r.Perm(H.Rows) {
-		h := H.Row(i)
-		scores := m.Scores(h, scratch)
-		pred := mat.ArgMax(scores)
-		if pred == y[i] {
+		if m.OnlineStep(H.Row(i), y[i], cfg.LearningRate, scratch) {
 			correct++
-		} else {
-			mat.Axpy(m.Weights.Row(pred), -cfg.LearningRate*(1-scores[pred]), h)
-			m.refreshNorm(pred)
 		}
-		// novelty-scaled memorization of the true class, every sample
-		mat.Axpy(m.Weights.Row(y[i]), cfg.LearningRate*(1-scores[y[i]]), h)
-		m.refreshNorm(y[i])
 	}
 	res := &TrainResult{Epochs: 1}
 	if H.Rows > 0 {

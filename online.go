@@ -1,0 +1,390 @@
+package disthd
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+// RetrainConfig controls a warm-start retrain (Model.Retrain,
+// OnlineLearner.Retrain): how many train → score → regenerate rounds of the
+// staged pipeline run over the feedback window. The zero value picks the
+// documented defaults.
+type RetrainConfig struct {
+	// Iterations is the number of warm train+regenerate rounds (default 5 —
+	// a window is small and the model starts warm, so a fraction of the
+	// cold-start budget suffices).
+	Iterations int
+	// LearningRate overrides the model's training-time η when positive.
+	LearningRate float64
+	// Seed drives the retrain's shuffle and regeneration streams; retrains
+	// with different seeds explore different regeneration draws.
+	Seed uint64
+}
+
+// withDefaults fills unset fields.
+func (c RetrainConfig) withDefaults() RetrainConfig {
+	if c.Iterations == 0 {
+		c.Iterations = 5
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// WithAttempt returns a copy of c whose Seed is re-derived for the n-th
+// retrain attempt (0-based): deterministic in (Seed, n), distinct across
+// attempts, so every retrain in a sequence explores fresh shuffle and
+// regeneration draws. OnlineLearner and serve.Learner both derive their
+// per-retrain seeds through this single definition.
+func (c RetrainConfig) WithAttempt(n uint64) RetrainConfig {
+	c.Seed += (n + 1) * 0x9e3779b97f4a7c15
+	return c
+}
+
+// Retrain returns a NEW model warm-started from m and adapted to (X, y) by
+// rerunning the staged regeneration pipeline: the class weights and encoder
+// are deep-copied, then Iterations rounds of adaptive learning → dimension
+// scoring → regeneration run over the window. m itself is never touched, so
+// it can keep serving while the retrain runs — publish the returned model
+// through serve.Swapper when it is ready (the two always have identical
+// shape, which is exactly the Swapper's compatibility contract).
+func (m *Model) Retrain(X [][]float64, y []int, cfg RetrainConfig) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if len(X) == 0 {
+		return nil, fmt.Errorf("disthd: empty retrain window")
+	}
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("disthd: %d samples but %d labels", len(X), len(y))
+	}
+	for i, row := range X {
+		if len(row) != m.Features() {
+			return nil, fmt.Errorf("disthd: retrain sample %d has %d features, model expects %d", i, len(row), m.Features())
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("disthd: non-finite feature %v at retrain sample %d, column %d", v, i, j)
+			}
+		}
+	}
+
+	cc := m.clf.Cfg
+	cc.Iterations = cfg.Iterations
+	if cfg.LearningRate > 0 {
+		cc.LearningRate = cfg.LearningRate
+	}
+	cc.Seed = cfg.Seed
+	// A short warm run has no room for the cold-start plateau heuristics.
+	cc.Patience = 0
+
+	dup := m.clf.CloneDetached(cfg.Seed ^ 0x5e7a11)
+	p, err := core.Resume(dup, mat.FromRows(X), y, cc)
+	if err != nil {
+		return nil, err
+	}
+	clf, stats := p.Run()
+	// Effective dimensionality keeps accumulating across the model's
+	// lifetime: D* = D + every regeneration it ever absorbed. A model that
+	// came through Load carries no training Info, so fall back to its
+	// physical dimensionality as the base.
+	baseEffective := m.Info.EffectiveDim
+	if baseEffective == 0 {
+		baseEffective = m.Dim()
+	}
+	return &Model{
+		clf:  clf,
+		kind: m.kind,
+		Info: TrainInfo{
+			Iterations:         len(stats.Iters),
+			RegeneratedDims:    m.Info.RegeneratedDims + stats.TotalRegenerated,
+			EffectiveDim:       baseEffective + stats.TotalRegenerated,
+			FinalTrainAccuracy: stats.FinalTrainAcc(),
+		},
+	}, nil
+}
+
+// OnlineConfig configures an OnlineLearner. The zero value picks the
+// documented defaults.
+type OnlineConfig struct {
+	// Window bounds the labeled-feedback buffer the learner retrains from
+	// (default 512 samples).
+	Window int
+	// Reservoir, when true, keeps a uniform reservoir sample of the whole
+	// feedback stream instead of the most recent Window samples. A sliding
+	// window (the default) tracks drift fastest; a reservoir preserves
+	// memory of the pre-drift distribution, trading adaptation speed for
+	// resistance to catastrophic forgetting.
+	Reservoir bool
+	// RecentWindow is how many of the latest observations the windowed
+	// accuracy estimate covers (default 64).
+	RecentWindow int
+	// DriftThreshold flags drift when the windowed accuracy falls this far
+	// below the baseline accuracy measured right after the model was bound.
+	// The zero value selects the default 0.15 — a literal threshold of 0
+	// cannot be expressed; pass a small positive value (e.g. 0.001) for a
+	// hair-trigger detector.
+	DriftThreshold float64
+	// MinObservations is how many observations must accumulate after a
+	// (re)bind before drift detection may fire (default 2·RecentWindow: one
+	// RecentWindow to freeze the baseline, one to fill the recent ring).
+	MinObservations int
+	// Retrain configures the warm retrain the learner runs over its window.
+	Retrain RetrainConfig
+	// Seed drives the reservoir-sampling stream.
+	Seed uint64
+}
+
+// withDefaults fills unset fields and validates the rest.
+func (c OnlineConfig) withDefaults() (OnlineConfig, error) {
+	if c.Window == 0 {
+		c.Window = 512
+	}
+	if c.RecentWindow == 0 {
+		c.RecentWindow = 64
+	}
+	if c.DriftThreshold == 0 {
+		c.DriftThreshold = 0.15
+	}
+	if c.MinObservations == 0 {
+		c.MinObservations = 2 * c.RecentWindow
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	c.Retrain = c.Retrain.withDefaults()
+	if c.Window < 1 || c.RecentWindow < 1 || c.DriftThreshold < 0 || c.MinObservations < 1 {
+		return c, fmt.Errorf("disthd: invalid online config %+v", c)
+	}
+	return c, nil
+}
+
+// OnlineLearner closes the DistHD loop at serving time: it ingests labeled
+// feedback into a bounded window, tracks windowed accuracy against the
+// baseline measured when the model was bound, detects distribution drift,
+// and — on demand — warm-retrains a successor model on the window by
+// rerunning the staged regeneration pipeline (core encode → adapt → score →
+// regenerate, via Model.Retrain).
+//
+// Observing feedback never mutates the bound model: the model may be
+// serving traffic concurrently, and in-place weight updates would race with
+// readers. Adaptation happens exclusively through Retrain, which trains a
+// deep copy and rebinds it — the pattern serve.Learner uses to publish
+// successors through a Swapper with zero serving interruption.
+//
+// An OnlineLearner is not safe for concurrent use; callers serialize access
+// (serve.Learner wraps it with a mutex).
+type OnlineLearner struct {
+	m   *Model
+	cfg OnlineConfig
+
+	// Sliding/reservoir feedback window.
+	winX    []float64 // capacity Window × features, row-major
+	winY    []int
+	winLen  int
+	winPos  int    // next slot to overwrite (sliding mode)
+	seen    uint64 // stream length so far (reservoir mode)
+	sampler *rng.Rand
+
+	// Windowed accuracy over the last RecentWindow observations.
+	recent    []bool
+	recentLen int
+	recentPos int
+	recentOK  int
+
+	// Baseline accuracy, frozen over the first RecentWindow observations
+	// after the model was (re)bound.
+	obsSinceBind uint64
+	baseOK       int
+	baseN        int
+
+	observations uint64
+	attempts     uint64
+	retrains     uint64
+}
+
+// NewOnlineLearner builds a learner bound to m.
+func NewOnlineLearner(m *Model, cfg OnlineConfig) (*OnlineLearner, error) {
+	if m == nil {
+		return nil, fmt.Errorf("disthd: NewOnlineLearner needs a model")
+	}
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &OnlineLearner{
+		m:       m,
+		cfg:     c,
+		winX:    make([]float64, c.Window*m.Features()),
+		winY:    make([]int, c.Window),
+		sampler: rng.New(c.Seed ^ 0x0b5e7),
+		recent:  make([]bool, c.RecentWindow),
+	}, nil
+}
+
+// Model returns the currently bound model.
+func (l *OnlineLearner) Model() *Model { return l.m }
+
+// Observe ingests one labeled feedback sample: the bound model classifies
+// x, the outcome feeds the windowed-accuracy and drift estimates, and the
+// sample joins the retrain window. It returns whether the prediction was
+// correct. The bound model's weights are NOT updated (see the type comment).
+func (l *OnlineLearner) Observe(x []float64, label int) (correct bool, err error) {
+	if len(x) != l.m.Features() {
+		return false, fmt.Errorf("disthd: feedback has %d features, model expects %d", len(x), l.m.Features())
+	}
+	if label < 0 || label >= l.m.Classes() {
+		return false, fmt.Errorf("disthd: feedback label %d outside [0,%d)", label, l.m.Classes())
+	}
+	pred, err := l.m.Predict(x)
+	if err != nil {
+		return false, err
+	}
+	correct = pred == label
+
+	// Accuracy bookkeeping.
+	l.observations++
+	l.obsSinceBind++
+	if l.baseN < l.cfg.RecentWindow {
+		l.baseN++
+		if correct {
+			l.baseOK++
+		}
+	}
+	if l.recentLen == l.cfg.RecentWindow {
+		if l.recent[l.recentPos] {
+			l.recentOK--
+		}
+	} else {
+		l.recentLen++
+	}
+	l.recent[l.recentPos] = correct
+	if correct {
+		l.recentOK++
+	}
+	l.recentPos = (l.recentPos + 1) % l.cfg.RecentWindow
+
+	// Window admission: sliding ring, or uniform reservoir over the stream.
+	l.seen++
+	slot := -1
+	if l.winLen < l.cfg.Window {
+		slot = l.winLen
+		l.winLen++
+	} else if l.cfg.Reservoir {
+		if j := l.sampler.Intn(int(l.seen)); j < l.cfg.Window {
+			slot = j
+		}
+	} else {
+		slot = l.winPos
+	}
+	if slot >= 0 {
+		copy(l.winX[slot*l.m.Features():(slot+1)*l.m.Features()], x)
+		l.winY[slot] = label
+		l.winPos = (slot + 1) % l.cfg.Window
+	}
+	return correct, nil
+}
+
+// Observations returns how many feedback samples the learner has ever seen.
+func (l *OnlineLearner) Observations() uint64 { return l.observations }
+
+// Retrains returns how many retrains completed through this learner.
+func (l *OnlineLearner) Retrains() uint64 { return l.retrains }
+
+// WindowLen returns how many samples the retrain window currently holds.
+func (l *OnlineLearner) WindowLen() int { return l.winLen }
+
+// WindowAccuracy returns the model's accuracy over the last RecentWindow
+// observations (NaN before any observation arrives).
+func (l *OnlineLearner) WindowAccuracy() float64 {
+	if l.recentLen == 0 {
+		return math.NaN()
+	}
+	return float64(l.recentOK) / float64(l.recentLen)
+}
+
+// BaselineAccuracy returns the accuracy frozen over the first RecentWindow
+// observations after the model was (re)bound (NaN before any arrive).
+func (l *OnlineLearner) BaselineAccuracy() float64 {
+	if l.baseN == 0 {
+		return math.NaN()
+	}
+	return float64(l.baseOK) / float64(l.baseN)
+}
+
+// DriftDetected reports whether the windowed accuracy has fallen more than
+// DriftThreshold below the baseline, with both estimates mature
+// (MinObservations since the model was bound).
+func (l *OnlineLearner) DriftDetected() bool {
+	if l.obsSinceBind < uint64(l.cfg.MinObservations) || l.baseN < l.cfg.RecentWindow {
+		return false
+	}
+	return l.WindowAccuracy() < l.BaselineAccuracy()-l.cfg.DriftThreshold
+}
+
+// Window returns a copy of the retrain window (oldest-first in sliding
+// mode; sample order is meaningless in reservoir mode).
+func (l *OnlineLearner) Window() (X [][]float64, y []int) {
+	q := l.m.Features()
+	X = make([][]float64, l.winLen)
+	y = make([]int, l.winLen)
+	for i := 0; i < l.winLen; i++ {
+		// In a full sliding ring, winPos is the oldest slot.
+		slot := i
+		if !l.cfg.Reservoir && l.winLen == l.cfg.Window {
+			slot = (l.winPos + i) % l.cfg.Window
+		}
+		row := make([]float64, q)
+		copy(row, l.winX[slot*q:(slot+1)*q])
+		X[i] = row
+		y[i] = l.winY[slot]
+	}
+	return X, y
+}
+
+// SetModel rebinds the learner to a successor model of identical shape —
+// called after a retrained or externally swapped model goes live. The
+// feedback window is kept (its labels are still valid training data); the
+// accuracy baseline and drift state reset, since they measured the old
+// model.
+func (l *OnlineLearner) SetModel(m *Model) error {
+	if m == nil {
+		return fmt.Errorf("disthd: SetModel needs a model")
+	}
+	if m.Features() != l.m.Features() || m.Dim() != l.m.Dim() || m.Classes() != l.m.Classes() {
+		return fmt.Errorf("disthd: successor model shaped %d/%d/%d, learner bound to %d/%d/%d",
+			m.Features(), m.Dim(), m.Classes(), l.m.Features(), l.m.Dim(), l.m.Classes())
+	}
+	l.m = m
+	l.obsSinceBind = 0
+	l.baseOK, l.baseN = 0, 0
+	l.recentLen, l.recentPos, l.recentOK = 0, 0, 0
+	return nil
+}
+
+// Retrain warm-retrains a successor on the current window (Model.Retrain),
+// rebinds the learner to it, and returns it. The previous model is left
+// untouched, so a caller serving it can publish the successor atomically
+// afterwards. Each attempt uses a distinct deterministic seed
+// (RetrainConfig.WithAttempt), so repeated retrains explore fresh
+// regeneration draws.
+func (l *OnlineLearner) Retrain() (*Model, error) {
+	if l.winLen == 0 {
+		return nil, fmt.Errorf("disthd: retrain with an empty feedback window")
+	}
+	X, y := l.Window()
+	rc := l.cfg.Retrain.WithAttempt(l.attempts)
+	l.attempts++
+	next, err := l.m.Retrain(X, y, rc)
+	if err != nil {
+		return nil, err
+	}
+	l.retrains++
+	if err := l.SetModel(next); err != nil {
+		return nil, err
+	}
+	return next, nil
+}

@@ -126,3 +126,66 @@ func minFill(conc int) int {
 	}
 	return conc / 2
 }
+
+// BenchmarkServeBatchedWithLearner is BenchmarkServeBatched's D=512
+// workload with a Learner attached and labeled feedback trickling in from
+// a side goroutine — the configuration the drift-adaptive server runs in.
+// The report must match the learner-free benchmark: the learner lives
+// entirely off the flush path, so allocs/op stays 0 on the serving side.
+func BenchmarkServeBatchedWithLearner(b *testing.B) {
+	const conc = 32
+	s := benchFixtures(b, 512)
+	bat, err := NewBatcher(s.m, Options{
+		MaxBatch: 64,
+		MinFill:  minFill(conc),
+		MaxDelay: 2 * time.Millisecond,
+		Replicas: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer bat.Close()
+	learner, err := NewLearner(bat.Swapper(), LearnerOptions{
+		RecentWindow: 32, MinRetrain: 64, Iterations: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			x := s.rows[i%len(s.rows)]
+			if _, err := learner.Feed(x, i%s.m.Classes()); err != nil {
+				b.Error(err)
+				return
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	b.SetParallelism(conc)
+	var i atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			x := s.rows[int(i.Add(1))%len(s.rows)]
+			if _, err := bat.Predict(x); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	<-done
+	learner.Wait()
+	snap := bat.Stats()
+	b.ReportMetric(snap.MeanBatchRows, "rows/batch")
+}

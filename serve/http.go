@@ -18,14 +18,19 @@ import (
 //	GET  /healthz                               -> model shape + status
 //	GET  /stats                                 -> serve.Snapshot JSON
 //	POST /swap           <Model.Save bytes>     -> {"swaps":2}
+//	POST /learn          {"x":[...],"label":3}  -> serve.FeedResult JSON
+//	POST /retrain                               -> {"started":true}
 //
-// Prediction errors map to 400 (malformed input), 409 (/swap shape
-// mismatch) or 503 (closed batcher). Create one with NewServer, mount
-// Handler on any mux or call ListenAndServe, and Close to drain.
+// /learn and /retrain are live only after AttachLearner; without a learner
+// they return 404. Prediction errors map to 400 (malformed input), 409
+// (/swap shape mismatch, /retrain already in flight) or 503 (closed
+// batcher). Create one with NewServer, mount Handler on any mux or call
+// ListenAndServe, and Close to drain.
 type Server struct {
-	b   *Batcher
-	mux *http.ServeMux
-	hs  *http.Server
+	b       *Batcher
+	learner *Learner
+	mux     *http.ServeMux
+	hs      *http.Server
 }
 
 // NewServer wraps an existing Batcher. The caller keeps ownership of the
@@ -38,6 +43,8 @@ func NewServer(b *Batcher) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("POST /swap", s.handleSwap)
+	s.mux.HandleFunc("POST /learn", s.handleLearn)
+	s.mux.HandleFunc("POST /retrain", s.handleRetrain)
 	// The http.Server is created here, not in ListenAndServe, so Close
 	// never races the assignment: Shutdown on a never-started server is a
 	// no-op and a subsequent ListenAndServe returns ErrServerClosed.
@@ -58,6 +65,14 @@ func New(m *disthd.Model, opts Options) (*Server, error) {
 // Batcher returns the underlying Batcher (for stats or direct calls).
 func (s *Server) Batcher() *Batcher { return s.b }
 
+// AttachLearner enables the online-learning endpoints (/learn, /retrain)
+// and the learner gauges in /stats. Attach before serving traffic; the
+// learner must publish into this server's Swapper.
+func (s *Server) AttachLearner(l *Learner) { s.learner = l }
+
+// Learner returns the attached learner, nil when online learning is off.
+func (s *Server) Learner() *Learner { return s.learner }
+
 // Handler returns the route table, mountable under any mux.
 func (s *Server) Handler() http.Handler { return s.mux }
 
@@ -69,13 +84,20 @@ func (s *Server) ListenAndServe(addr string) error {
 	return s.hs.ListenAndServe()
 }
 
-// Close drains the HTTP server and then the Batcher, answering every
-// in-flight request before returning.
+// Close drains the server so no accepted request is dropped mid-batch: the
+// Batcher closes first — intake stops (late submitters get 503) and every
+// micro-batch already accepted into the queue is flushed and answered —
+// and only then does http.Server.Shutdown run, which now completes quickly
+// because no handler is still waiting on a batch. The previous ordering
+// (HTTP first) could hit Shutdown's deadline while handlers were still
+// blocked on forming batches and then yank the Batcher out from under
+// them. In-flight handlers that had not yet submitted when intake stopped
+// are answered with 503 rather than dropped.
 func (s *Server) Close() error {
+	s.b.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	err := s.hs.Shutdown(ctx)
 	cancel()
-	s.b.Close()
 	return err
 }
 
@@ -146,10 +168,65 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleStats reports the serving counters.
+// handleStats reports the serving counters, with the learner gauges folded
+// in when online learning is attached.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.b.Stats())
+	snap := s.b.Stats()
+	if s.learner != nil {
+		ls := s.learner.Snapshot()
+		snap.Learner = &ls
+	}
+	writeJSON(w, http.StatusOK, snap)
 }
+
+// learnRequest is the /learn body: one labeled feedback sample.
+type learnRequest struct {
+	X     []float64 `json:"x"`
+	Label int       `json:"label"`
+}
+
+// handleLearn ingests labeled feedback into the attached learner. 404
+// without a learner, 400 for malformed feedback.
+func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
+	if s.learner == nil {
+		writeError(w, http.StatusNotFound, errNoLearner)
+		return
+	}
+	var req learnRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
+		return
+	}
+	res, err := s.learner.Feed(req.X, req.Label)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleRetrain forces a background retrain on the attached learner: 202
+// when one starts, 409 when one is already in flight or the window is still
+// too small. The response returns immediately; poll /stats for completion.
+func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
+	if s.learner == nil {
+		writeError(w, http.StatusNotFound, errNoLearner)
+		return
+	}
+	started, err := s.learner.Retrain()
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	if !started {
+		writeError(w, http.StatusConflict, errors.New("serve: a retrain is already in flight"))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]bool{"started": true})
+}
+
+// errNoLearner answers the learning endpoints when no Learner is attached.
+var errNoLearner = errors.New("serve: online learning is not enabled on this server")
 
 // handleSwap hot-swaps the served model from a Model.Save payload: 409 for
 // a shape mismatch (retrain with matching shape), 400 for a payload that

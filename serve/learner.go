@@ -1,0 +1,329 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	disthd "repro"
+)
+
+// LearnerOptions configures a Learner. The zero value picks the defaults
+// documented on each field (window sizes default through
+// disthd.OnlineConfig).
+type LearnerOptions struct {
+	// Window bounds the labeled-feedback buffer retrains draw from
+	// (default 512).
+	Window int
+	// Reservoir keeps a uniform sample of the whole feedback stream instead
+	// of a sliding window of the most recent samples.
+	Reservoir bool
+	// RecentWindow is the span of the windowed accuracy estimate
+	// (default 64).
+	RecentWindow int
+	// DriftThreshold flags drift when windowed accuracy falls this far
+	// below the post-(re)bind baseline. The zero value selects the default
+	// 0.15; a literal 0 cannot be expressed — use a small positive value
+	// (e.g. 0.001) for a hair-trigger detector.
+	DriftThreshold float64
+	// MinRetrain is the smallest window a retrain may run on (default
+	// RecentWindow): retraining on a handful of samples would overfit the
+	// class hypervectors to them.
+	MinRetrain int
+	// Iterations is the warm-retrain budget in pipeline rounds (default 5).
+	Iterations int
+	// LearningRate overrides the model's training-time η when positive.
+	LearningRate float64
+	// Auto starts a background retrain whenever feedback ingestion detects
+	// drift (subject to MinRetrain and Cooldown). Without it, retrains run
+	// only on explicit Retrain calls (the /retrain endpoint).
+	Auto bool
+	// Cooldown is the minimum gap between drift-triggered retrains
+	// (default 10s), bounding retrain churn when accuracy stays depressed —
+	// e.g. while drift outpaces what the window can recover.
+	Cooldown time.Duration
+	// Seed drives the retrain and reservoir streams.
+	Seed uint64
+}
+
+// withDefaults fills unset fields.
+func (o LearnerOptions) withDefaults() LearnerOptions {
+	if o.RecentWindow == 0 {
+		o.RecentWindow = 64
+	}
+	if o.MinRetrain == 0 {
+		o.MinRetrain = o.RecentWindow
+	}
+	if o.Cooldown == 0 {
+		o.Cooldown = 10 * time.Second
+	}
+	return o
+}
+
+// FeedResult reports what one feedback ingestion observed and triggered.
+type FeedResult struct {
+	// Correct is whether the served model predicted the feedback label.
+	Correct bool `json:"correct"`
+	// WindowAccuracy is the accuracy over the recent observation window.
+	WindowAccuracy float64 `json:"window_accuracy"`
+	// Drift is whether the learner currently flags distribution drift.
+	Drift bool `json:"drift"`
+	// RetrainStarted is whether this ingestion kicked off a background
+	// retrain (Auto mode only).
+	RetrainStarted bool `json:"retrain_started"`
+}
+
+// Learner wires a disthd.OnlineLearner into the serving stack: labeled
+// feedback arrives through Feed (the /learn endpoint), retraining runs in a
+// background goroutine strictly off the request path, and each successor
+// model is published through the Batcher's Swapper — in-flight batches
+// finish on the old weights, later ones classify with the new. The serving
+// hot path is untouched: a Learner costs nothing until feedback arrives.
+//
+// Concurrency: Feed and Retrain may be called from any number of
+// goroutines; the learner state is guarded by one mutex, while the retrain
+// itself (the expensive part) runs outside it on a window snapshot. At most
+// one retrain is in flight at a time.
+type Learner struct {
+	sw   *Swapper
+	opts LearnerOptions
+
+	mu sync.Mutex // guards ol
+	ol *disthd.OnlineLearner
+
+	retraining   atomic.Bool
+	feedback     atomic.Uint64
+	drifts       atomic.Uint64
+	attempts     atomic.Uint64
+	retrains     atomic.Uint64
+	retrainErrs  atomic.Uint64
+	lastRetrain  atomic.Int64 // wall-clock ns of the last completed retrain
+	lastDuration atomic.Int64 // duration ns of the last completed retrain
+	lastAuto     atomic.Int64 // wall-clock ns of the last auto trigger
+	wg           sync.WaitGroup
+}
+
+// NewLearner builds a Learner feeding successors into sw, starting from the
+// model sw currently serves.
+func NewLearner(sw *Swapper, opts LearnerOptions) (*Learner, error) {
+	if sw == nil {
+		return nil, fmt.Errorf("serve: NewLearner needs a swapper")
+	}
+	o := opts.withDefaults()
+	ol, err := disthd.NewOnlineLearner(sw.Current(), disthd.OnlineConfig{
+		Window:         o.Window,
+		Reservoir:      o.Reservoir,
+		RecentWindow:   o.RecentWindow,
+		DriftThreshold: o.DriftThreshold,
+		Retrain: disthd.RetrainConfig{
+			Iterations:   o.Iterations,
+			LearningRate: o.LearningRate,
+			Seed:         o.Seed,
+		},
+		Seed: o.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Learner{sw: sw, opts: o, ol: ol}, nil
+}
+
+// Feed ingests one labeled feedback sample: the served model's verdict
+// feeds the windowed accuracy and drift detector, and the sample joins the
+// retrain window. In Auto mode a detected drift starts a background retrain
+// (at most one in flight, rate-limited by Cooldown).
+func (l *Learner) Feed(x []float64, label int) (FeedResult, error) {
+	l.mu.Lock()
+	// An external /swap may have published a model the learner has not seen;
+	// rebind so feedback is judged against what is actually serving.
+	if cur := l.sw.Current(); cur != l.ol.Model() {
+		if err := l.ol.SetModel(cur); err != nil {
+			l.mu.Unlock()
+			return FeedResult{}, err
+		}
+	}
+	correct, err := l.ol.Observe(x, label)
+	if err != nil {
+		l.mu.Unlock()
+		return FeedResult{}, err
+	}
+	res := FeedResult{
+		Correct:        correct,
+		WindowAccuracy: l.ol.WindowAccuracy(),
+		Drift:          l.ol.DriftDetected(),
+		RetrainStarted: false,
+	}
+	windowLen := l.ol.WindowLen()
+	l.mu.Unlock()
+
+	l.feedback.Add(1)
+	if res.Drift {
+		l.drifts.Add(1)
+		if l.opts.Auto && windowLen >= l.opts.MinRetrain {
+			res.RetrainStarted = l.startAutoRetrain()
+		}
+	}
+	return res, nil
+}
+
+// startAutoRetrain is startRetrain behind the drift cooldown. The cooldown
+// clock only advances when a retrain actually launches — a trigger that
+// loses to an in-flight retrain does not consume the cooldown, so the next
+// drifted Feed after that retrain finishes can fire immediately.
+func (l *Learner) startAutoRetrain() bool {
+	now := time.Now().UnixNano()
+	if now-l.lastAuto.Load() < l.opts.Cooldown.Nanoseconds() {
+		return false
+	}
+	if !l.startRetrain() {
+		return false
+	}
+	l.lastAuto.Store(now)
+	return true
+}
+
+// Retrain starts a background retrain over the current window. It returns
+// false without starting one when a retrain is already in flight or the
+// window holds fewer than MinRetrain samples.
+func (l *Learner) Retrain() (started bool, err error) {
+	l.mu.Lock()
+	n := l.ol.WindowLen()
+	l.mu.Unlock()
+	if n < l.opts.MinRetrain {
+		return false, fmt.Errorf("serve: retrain window holds %d samples, need %d", n, l.opts.MinRetrain)
+	}
+	return l.startRetrain(), nil
+}
+
+// startRetrain claims the single retrain slot and launches the worker.
+func (l *Learner) startRetrain() bool {
+	if !l.retraining.CompareAndSwap(false, true) {
+		return false
+	}
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		defer l.retraining.Store(false)
+		l.runRetrain()
+	}()
+	return true
+}
+
+// runRetrain executes one retrain: snapshot the window and the serving
+// model under the lock, train the successor outside it, publish through the
+// Swapper, then rebind the learner. Requests keep flowing the whole time.
+func (l *Learner) runRetrain() {
+	l.mu.Lock()
+	X, y := l.ol.Window()
+	cur := l.sw.Current()
+	attempt := l.attempts.Add(1) - 1
+	l.mu.Unlock()
+	if len(X) == 0 {
+		l.retrainErrs.Add(1)
+		return
+	}
+
+	start := time.Now()
+	// Per-attempt seed derivation is shared with OnlineLearner.Retrain
+	// (RetrainConfig.WithAttempt): repeated retrains explore fresh
+	// regeneration draws, deterministically.
+	next, err := cur.Retrain(X, y, disthd.RetrainConfig{
+		Iterations:   l.opts.Iterations,
+		LearningRate: l.opts.LearningRate,
+		Seed:         l.opts.Seed,
+	}.WithAttempt(attempt))
+	if err != nil {
+		l.retrainErrs.Add(1)
+		return
+	}
+	if err := l.sw.Swap(next); err != nil {
+		// Shape mismatches cannot happen (Retrain preserves shape); a
+		// failure here means the swapper was closed around us.
+		l.retrainErrs.Add(1)
+		return
+	}
+	l.mu.Lock()
+	// Feed may already have rebound to `next` via sw.Current; SetModel is
+	// idempotent for the same pointer apart from resetting the baseline,
+	// which is wanted either way.
+	if err := l.ol.SetModel(next); err != nil {
+		l.mu.Unlock()
+		l.retrainErrs.Add(1)
+		return
+	}
+	l.mu.Unlock()
+	l.retrains.Add(1)
+	l.lastDuration.Store(int64(time.Since(start)))
+	l.lastRetrain.Store(time.Now().UnixNano())
+}
+
+// Retraining reports whether a retrain is in flight right now.
+func (l *Learner) Retraining() bool { return l.retraining.Load() }
+
+// Wait blocks until no retrain is in flight — a test and benchmark hook;
+// production callers never need it.
+func (l *Learner) Wait() { l.wg.Wait() }
+
+// LearnerSnapshot is a point-in-time copy of the learner gauges, embedded
+// in the /stats payload when a learner is attached.
+type LearnerSnapshot struct {
+	// Feedback counts labeled samples ingested through Feed.
+	Feedback uint64 `json:"feedback"`
+	// WindowLen is how many samples the retrain window holds.
+	WindowLen int `json:"window_len"`
+	// WindowAccuracy is the served model's accuracy over the recent
+	// observation window (0 before any feedback).
+	WindowAccuracy float64 `json:"window_accuracy"`
+	// BaselineAccuracy is the accuracy frozen right after the serving model
+	// was last (re)bound (0 before any feedback).
+	BaselineAccuracy float64 `json:"baseline_accuracy"`
+	// Drift is whether drift is currently flagged.
+	Drift bool `json:"drift"`
+	// DriftEvents counts feedback ingestions that observed a drift flag.
+	DriftEvents uint64 `json:"drift_events"`
+	// Retraining is whether a background retrain is in flight.
+	Retraining bool `json:"retraining"`
+	// Retrains counts completed (published) retrains.
+	Retrains uint64 `json:"retrains"`
+	// RetrainErrors counts retrains that failed before publishing.
+	RetrainErrors uint64 `json:"retrain_errors"`
+	// LastRetrainMs is the duration of the last completed retrain.
+	LastRetrainMs float64 `json:"last_retrain_ms"`
+	// LastRetrainUnix is the wall-clock second the last retrain published
+	// (0 when none has).
+	LastRetrainUnix int64 `json:"last_retrain_unix"`
+}
+
+// Snapshot returns the current learner gauges.
+func (l *Learner) Snapshot() LearnerSnapshot {
+	l.mu.Lock()
+	winLen := l.ol.WindowLen()
+	winAcc := l.ol.WindowAccuracy()
+	baseAcc := l.ol.BaselineAccuracy()
+	drift := l.ol.DriftDetected()
+	l.mu.Unlock()
+	if winAcc != winAcc { // NaN before any feedback: JSON needs a number
+		winAcc = 0
+	}
+	if baseAcc != baseAcc {
+		baseAcc = 0
+	}
+	var lastUnix int64
+	if ns := l.lastRetrain.Load(); ns > 0 {
+		lastUnix = ns / 1e9
+	}
+	return LearnerSnapshot{
+		Feedback:         l.feedback.Load(),
+		WindowLen:        winLen,
+		WindowAccuracy:   winAcc,
+		BaselineAccuracy: baseAcc,
+		Drift:            drift,
+		DriftEvents:      l.drifts.Load(),
+		Retraining:       l.retraining.Load(),
+		Retrains:         l.retrains.Load(),
+		RetrainErrors:    l.retrainErrs.Load(),
+		LastRetrainMs:    float64(l.lastDuration.Load()) / 1e6,
+		LastRetrainUnix:  lastUnix,
+	}
+}

@@ -13,10 +13,15 @@
 //
 // Around the Batcher sit the Swapper, which hot-swaps the served model
 // behind an atomic pointer so online retraining can publish new weights
-// mid-traffic without dropping a request, and the Server, which exposes
-// the whole thing over HTTP/JSON (/predict, /predict_batch, /healthz,
-// /stats, /swap). cmd/disthd-serve is the runnable binary;
-// `hdbench -loadgen` measures the throughput-vs-concurrency curve.
+// mid-traffic without dropping a request; the Learner, which closes the
+// DistHD loop online — labeled feedback in, drift detection over windowed
+// accuracy, warm background retraining on the feedback window, successor
+// published through the Swapper — without ever touching the flush path;
+// and the Server, which exposes the whole thing over HTTP/JSON (/predict,
+// /predict_batch, /healthz, /stats, /swap, /learn, /retrain).
+// cmd/disthd-serve is the runnable binary; `hdbench -loadgen` measures the
+// throughput-vs-concurrency curve and `hdbench -driftgen` the
+// frozen-vs-adaptive accuracy under a drifting stream.
 package serve
 
 import (

@@ -133,6 +133,10 @@ type Snapshot struct {
 	LatencyMsP99 float64 `json:"latency_ms_p99"`
 	// LatencyMsMean is the exact mean latency in milliseconds.
 	LatencyMsMean float64 `json:"latency_ms_mean"`
+	// Learner holds the online-learning gauges when a Learner is attached
+	// to the server, nil otherwise. Stats itself does not track the
+	// learner; Server.handleStats fills this.
+	Learner *LearnerSnapshot `json:"learner,omitempty"`
 }
 
 // Snapshot returns the current counters. It is safe to call while traffic
