@@ -8,9 +8,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet doc-check build test race bench-smoke drift-smoke bench bench-kernels bench-serve bench-drift
+.PHONY: ci fmt-check vet doc-check build test race bench-smoke fuzz-smoke drift-smoke drift-http-smoke bench bench-kernels bench-serve bench-drift
 
-ci: fmt-check vet doc-check build race bench-smoke drift-smoke
+ci: fmt-check vet doc-check build race bench-smoke fuzz-smoke drift-smoke drift-http-smoke
 
 # gofmt must be a no-op across the tree.
 fmt-check:
@@ -41,10 +41,21 @@ race:
 bench-smoke:
 	$(GO) test ./... -run xxx -bench . -benchtime 1x
 
+# The feedback-window fuzz target's seed corpus, run deterministically
+# (plain `go test` executes every f.Add seed; no fuzzing engine involved).
+fuzz-smoke:
+	$(GO) test -run 'FuzzFeedbackWindow' .
+
 # One CI-sized pass of the streaming drift benchmark, so the closed-loop
 # learner harness cannot rot.
 drift-smoke:
 	$(GO) run ./cmd/hdbench -driftgen -quick
+
+# The live-HTTP drift loop end to end: launch a real disthd-serve process
+# with the gated learner, drive one quick `hdbench -driftgen -http` pass
+# against it over loopback, and assert a clean SIGTERM drain.
+drift-http-smoke:
+	sh scripts/drift_http_smoke.sh
 
 # The kernel and end-to-end benchmarks behind PERF.md, with allocation
 # reporting and enough repetitions for benchstat.
@@ -64,6 +75,10 @@ bench-serve:
 		-benchtime 2s -count 3
 
 # The streaming table of PERF.md: windowed accuracy of the frozen model vs
-# the drift-adaptive server over a drifting labeled stream.
+# the ungated and gated adaptive servers over a drifting labeled stream,
+# then the bad-teacher pass (35% of feedback labels flipped) where the
+# champion/challenger gate must reject the garbage challengers the ungated
+# server publishes.
 bench-drift:
 	$(GO) run ./cmd/hdbench -driftgen
+	$(GO) run ./cmd/hdbench -driftgen -drift-kinds shift -drift-label-noise 0.35

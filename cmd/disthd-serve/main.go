@@ -15,9 +15,14 @@
 //
 // With -learn, the server also accepts labeled feedback and closes the
 // DistHD loop online: /learn ingests {"x":[...],"label":k}, windowed
-// accuracy and drift are tracked in /stats, and /retrain (or drift itself,
-// with -auto-retrain) warm-retrains a successor on the feedback window in
-// the background and hot-swaps it in — requests never wait on training.
+// accuracy and per-class drift attribution are tracked in /stats, and
+// /retrain (or drift itself, with -auto-retrain) warm-retrains a challenger
+// on the feedback window in the background — budget scaled by the measured
+// drift severity — and hot-swaps it in only after it beats the serving
+// incumbent on a stratified holdout (the champion/challenger gate; disable
+// with -no-gate, tune with -holdout and -gate-margin, bypass one verdict
+// with /retrain?force=1). Requests never wait on training, and a rejected
+// challenger never serves.
 //
 // Endpoints: POST /predict, POST /predict_batch, GET /healthz, GET /stats,
 // POST /swap, POST /learn, POST /retrain. See the serve package for the
@@ -61,6 +66,9 @@ func main() {
 		autoRetr  = flag.Bool("auto-retrain", false, "retrain in the background whenever drift is detected")
 		cooldown  = flag.Duration("retrain-cooldown", 10*time.Second, "minimum gap between drift-triggered retrains")
 		reservoir = flag.Bool("learn-reservoir", false, "reservoir-sample the feedback stream instead of a sliding window")
+		holdout   = flag.Float64("holdout", 0, "fraction of the feedback window held out for the champion/challenger gate (0 = default 0.20, negative = no holdout)")
+		gateMarg  = flag.Float64("gate-margin", 0, "holdout-accuracy lead a retrained challenger needs to publish (0 = a tie publishes)")
+		noGate    = flag.Bool("no-gate", false, "publish every retrain unconditionally instead of gating champion vs challenger on the holdout")
 	)
 	flag.Parse()
 
@@ -82,21 +90,24 @@ func main() {
 
 	if *learn {
 		lr, err := serve.NewLearner(srv.Batcher().Swapper(), serve.LearnerOptions{
-			Window:         *learnWin,
-			Reservoir:      *reservoir,
-			RecentWindow:   *recentWin,
-			DriftThreshold: *driftThr,
-			Iterations:     *retrIters,
-			Auto:           *autoRetr,
-			Cooldown:       *cooldown,
-			Seed:           *seed,
+			Window:          *learnWin,
+			Reservoir:       *reservoir,
+			RecentWindow:    *recentWin,
+			DriftThreshold:  *driftThr,
+			HoldoutFraction: *holdout,
+			GateMargin:      *gateMarg,
+			GateDisabled:    *noGate,
+			Iterations:      *retrIters,
+			Auto:            *autoRetr,
+			Cooldown:        *cooldown,
+			Seed:            *seed,
 		})
 		if err != nil {
 			log.Fatalf("disthd-serve: %v", err)
 		}
 		srv.AttachLearner(lr)
-		log.Printf("online learning on (window=%d drift-threshold=%.2f auto-retrain=%v)",
-			*learnWin, *driftThr, *autoRetr)
+		log.Printf("online learning on (window=%d drift-threshold=%.2f auto-retrain=%v gate=%v margin=%.3f)",
+			*learnWin, *driftThr, *autoRetr, !*noGate, *gateMarg)
 	}
 
 	// SIGTERM/SIGINT drain: Server.Close stops Batcher intake and flushes

@@ -18,9 +18,15 @@
 //
 // -driftgen runs the closed-loop streaming drift benchmark: a labeled
 // stream whose distribution drifts (dataset.DriftStream) is served by a
-// frozen model and by the adaptive server (serve.Learner auto-retraining
-// behind the Swapper), reporting windowed accuracy for both — the PERF.md
-// streaming table. -quick shrinks it to a CI smoke run.
+// frozen model, by the ungated adaptive server (every retrain publishes),
+// and by the gated adaptive server (challengers must beat the incumbent on
+// a stratified holdout), reporting windowed accuracy for all three with
+// gate accept/reject counts — the PERF.md streaming table.
+// -drift-label-noise flips a fraction of the feedback labels, the
+// bad-teacher scenario the gate exists to survive. With -http the adaptive
+// side is a LIVE disthd-serve process driven over /predict_batch + /learn,
+// with /stats scraped at window boundaries and round-trip latency under
+// retrain folded into the table. -quick shrinks it to a CI smoke run.
 //
 // Experiment output is plain text, one table per experiment, in the same
 // layout the paper reports. See EXPERIMENTS.md for the recorded
@@ -66,6 +72,10 @@ func main() {
 		dgThresh  = flag.Float64("drift-threshold", 0.10, "driftgen: windowed-accuracy drop that triggers a retrain")
 		dgRetrain = flag.Int("drift-retrain-iters", 6, "driftgen: warm-retrain pipeline iterations")
 		dgTrain   = flag.Int("drift-train-iters", 12, "driftgen: cold-start training iterations")
+		dgNoise   = flag.Float64("drift-label-noise", 0, "driftgen: fraction of feedback labels flipped to a wrong class (bad-teacher scenario the gate must survive)")
+		dgHoldout = flag.Float64("drift-holdout", 0, "driftgen: holdout fraction for the gated run (0 = default 0.20)")
+		dgMargin  = flag.Float64("drift-gate-margin", -0.07, "driftgen: holdout-accuracy lead a challenger needs to publish; the default tolerates one standard error of the ~51-sample holdout estimate (sqrt(0.25/51)), so sampling noise never vetoes a challenger while garbage — which loses by far more — still rejects")
+		dgHTTP    = flag.String("http", "", "driftgen: drive a LIVE disthd-serve at this address (host:port or URL) over /predict_batch + /learn + /stats instead of the in-process stack")
 	)
 	flag.Parse()
 
@@ -84,11 +94,15 @@ func main() {
 			windows:      *dgWindows,
 			severity:     *dgSev,
 			fraction:     *dgFrac,
+			labelNoise:   *dgNoise,
 			learnWindow:  *dgWindow,
 			recentWindow: *dgRecent,
 			driftThresh:  *dgThresh,
+			holdout:      *dgHoldout,
+			gateMargin:   *dgMargin,
 			retrainIters: *dgRetrain,
 			trainIters:   *dgTrain,
+			httpTarget:   *dgHTTP,
 			quick:        *quick,
 		}
 		if err := runDriftgen(o, os.Stdout); err != nil {

@@ -21,18 +21,30 @@
 //   - Model.NewReplica builds the per-goroutine zero-allocation batch
 //     inference context that online serving is built on.
 //   - OnlineLearner closes the loop at deployment time: a bounded window
-//     of labeled feedback, windowed accuracy with drift detection, and
-//     Model.Retrain — a warm rerun of the train → score → regenerate
-//     pipeline on the window that produces a successor model while the
-//     original keeps serving.
+//     of labeled feedback, windowed accuracy with drift detection and
+//     per-class attribution (DriftReport names the classes whose accuracy
+//     sags), and Model.Retrain — a warm rerun of the train → score →
+//     regenerate pipeline on the window, its budget scaled by the measured
+//     drift severity — producing a successor model while the original
+//     keeps serving.
+//   - Gate is the champion/challenger publication gate: a retrained
+//     successor is scored against the serving incumbent on a stratified
+//     held-out slice of the feedback window (SplitWindow) and replaces it
+//     only on a passing margin — a retrain on a noisy or unlucky window
+//     can produce a successor worse than the incumbent, and the gate keeps
+//     such a challenger from ever serving. OnlineLearner.RetrainGated runs
+//     the whole train → judge → refit-on-accept sequence.
 //
 // Online serving lives in the serve subpackage: a micro-batching Batcher
 // that gives concurrent single-request callers batched-GEMM throughput, an
 // atomic model hot-swap (Swapper), an HTTP/JSON Server, and a Learner that
-// wires OnlineLearner behind the endpoints (/learn, /retrain) with
-// background drift-adaptive retraining — run it with cmd/disthd-serve
-// (-learn -auto-retrain), load-test it with `hdbench -loadgen`, and
-// measure the adaptation win with `hdbench -driftgen`.
+// wires OnlineLearner behind the endpoints (/learn, /retrain with a
+// ?force=1 gate bypass) with background drift-adaptive retraining routed
+// through the Gate — run it with cmd/disthd-serve (-learn -auto-retrain;
+// -no-gate, -holdout, -gate-margin tune the gate), load-test it with
+// `hdbench -loadgen`, and measure the adaptation win (frozen vs ungated vs
+// gated, in-process or against a live server with -http) with
+// `hdbench -driftgen`.
 //
 // The research internals — the baselines (NeuralHD, baselineHD, MLP, SVM),
 // the experiment harness that regenerates every table and figure of the

@@ -1,14 +1,20 @@
 // Online learning closes the DistHD loop at deployment time: a drifting
 // labeled stream goes in, windowed accuracy comes out, and the model
-// retrains itself when drift is detected. A frozen model and a
-// disthd.OnlineLearner consume the same stream (PAMAP2-like activity
-// windows whose sensors slowly decalibrate, modeled by the dataset
-// package's DriftStream); the learner tracks windowed accuracy against its
-// post-deployment baseline, flags drift when accuracy sags, and
-// warm-retrains a successor on its feedback window by rerunning the staged
-// train → score → regenerate pipeline. The successor replaces the old
-// model with zero interruption — the same clone-retrain-publish dance the
-// serving stack automates behind POST /learn (serve.Learner).
+// retrains itself when drift is detected — but a retrained successor only
+// goes live if it EARNS it. A frozen model and a disthd.OnlineLearner
+// consume the same stream (PAMAP2-like activity windows whose sensors
+// slowly decalibrate, modeled by the dataset package's DriftStream); the
+// learner tracks windowed accuracy against its post-deployment baseline,
+// attributes drift to the classes whose accuracy sags (DriftReport), and
+// on drift warm-retrains a challenger on the training slice of its
+// feedback window with a budget scaled by the measured severity. The
+// champion/challenger gate (disthd.Gate) then scores challenger vs
+// incumbent on the stratified holdout (the newest per-class samples,
+// excluded from retrain data): a passing challenger is refit on the full
+// window and replaces the old model with zero interruption — the same
+// clone-retrain-judge-publish dance the serving stack automates behind
+// POST /learn and POST /retrain (serve.Learner) — while a failing one is
+// dropped and the incumbent keeps serving.
 //
 // Note: the drift generator lives in an internal package (this example is
 // inside the module); external applications corrupt their own streams or
@@ -43,14 +49,19 @@ func main() {
 	// The adaptive side starts from the SAME model: observing feedback
 	// never mutates it, and each retrain trains a detached copy.
 	learner, err := disthd.NewOnlineLearner(frozen, disthd.OnlineConfig{
-		Window:         256, // labeled feedback the retrain draws from
-		RecentWindow:   48,  // span of the windowed accuracy estimate
-		DriftThreshold: 0.12,
-		Retrain:        disthd.RetrainConfig{Iterations: 6},
+		Window:          256,  // labeled feedback the retrain draws from
+		RecentWindow:    48,   // span of the windowed accuracy estimate
+		DriftThreshold:  0.12, // accuracy drop below baseline that flags drift
+		HoldoutFraction: 0.2,  // newest per-class slice the gate judges on
+		Retrain:         disthd.RetrainConfig{Iterations: 6},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The gate: a challenger must match the incumbent on the holdout to
+	// publish (MinMargin 0 — a tie goes to the challenger, which embodies
+	// the newer data). Raise MinMargin to demand strict improvement.
+	gate := disthd.NewGate(disthd.GateConfig{})
 
 	// A third of the sensors decalibrate, drifting up to +2.5 standard
 	// deviations (features are z-scored) by the end of the stream.
@@ -65,10 +76,15 @@ func main() {
 
 	const phases = 6
 	phaseLen := stream.Len() / phases
-	fmt.Printf("%-8s %-10s %-14s %-16s %-10s\n",
-		"phase", "severity", "frozen acc", "adaptive acc", "retrains")
-	retrains := 0
+	fmt.Printf("%-8s %-10s %-14s %-16s %-10s %-8s\n",
+		"phase", "severity", "frozen acc", "adaptive acc", "published", "rejected")
 	pos := 0
+	// One gated attempt per accuracy-estimate span: after a rejection the
+	// drift flag stays up, and retrying before the windowed estimate has
+	// turned over would re-judge the same evidence every sample
+	// (serve.Learner applies the same backoff to its auto-retrains).
+	lastAttempt := -1 << 30
+	seen := 0
 	for p := 0; p < phases; p++ {
 		var frozenOK, adaptiveOK, n int
 		for ; n < phaseLen || (p == phases-1 && stream.Remaining() > 0); n++ {
@@ -88,21 +104,33 @@ func main() {
 			if correct {
 				adaptiveOK++
 			}
-			// Drift detected → warm-retrain on the feedback window. The
+			seen++
+			// Drift detected → challenger retrain, judged by the gate. The
 			// serving stack (serve.Learner) runs this in the background and
-			// hot-swaps the result; inline here for a deterministic tour.
-			if learner.DriftDetected() {
-				if _, err := learner.Retrain(); err != nil {
+			// hot-swaps an accepted successor; inline here for a
+			// deterministic tour.
+			if learner.DriftDetected() && seen-lastAttempt >= 48 {
+				lastAttempt = seen
+				if worst, drop := learner.DriftReport().Worst(); worst >= 0 {
+					fmt.Printf("  drift: class %d sagged %.2f below its baseline\n", worst, drop)
+				}
+				_, verdict, err := learner.RetrainGated(gate, false)
+				if err != nil {
 					log.Fatal(err)
 				}
-				retrains++
+				fmt.Printf("  gate: challenger %.3f vs champion %.3f on %d held-out -> publish=%v\n",
+					verdict.ChallengerAccuracy, verdict.ChampionAccuracy,
+					verdict.HoldoutSize, verdict.Publish)
 			}
 		}
 		pos += n
-		fmt.Printf("%-8d %-10.2f %-14.3f %-16.3f %-10d\n",
+		fmt.Printf("%-8d %-10.2f %-14.3f %-16.3f %-10d %-8d\n",
 			p, stream.Severity(pos-1),
-			float64(frozenOK)/float64(n), float64(adaptiveOK)/float64(n), retrains)
+			float64(frozenOK)/float64(n), float64(adaptiveOK)/float64(n),
+			learner.Retrains(), learner.Rejections())
 	}
 	fmt.Println("\nthe frozen model decays with the drift; the online learner")
-	fmt.Println("retrains on its feedback window and tracks the moving input.")
+	fmt.Println("retrains on its feedback window, and the champion/challenger")
+	fmt.Println("gate only publishes successors that beat the incumbent on the")
+	fmt.Println("held-out slice — a bad retrain can never replace a good model.")
 }

@@ -1,0 +1,101 @@
+package disthd
+
+import "fmt"
+
+// GateConfig configures a champion/challenger Gate. The zero value is the
+// documented default.
+type GateConfig struct {
+	// MinMargin is the holdout-accuracy lead the challenger needs over the
+	// champion to publish: the verdict is publish when
+	// challenger - champion >= MinMargin. The default 0 publishes a
+	// challenger that is at least as accurate as the incumbent (a tie goes
+	// to the challenger — it embodies the newer data); raise it to demand a
+	// strict improvement, or pass a small negative value to tolerate a
+	// bounded regression (e.g. to keep adapting under heavy feedback noise).
+	MinMargin float64
+}
+
+// Gate is the champion/challenger publication gate: it scores a serving
+// incumbent (the champion) and a freshly retrained successor (the
+// challenger) on a held-out slice of the feedback window and decides
+// whether the challenger may replace the incumbent. It exists because a
+// retrain on a noisy or unlucky feedback window can produce a successor
+// WORSE than the model it would replace — the gate is what keeps such a
+// challenger from ever serving traffic. OnlineLearner.RetrainGated and
+// serve.Learner route their retrains through one; the holdout comes from
+// OnlineLearner.SplitWindow.
+//
+// A Gate is stateless and safe for concurrent use.
+type Gate struct {
+	cfg GateConfig
+}
+
+// NewGate builds a gate with cfg.
+func NewGate(cfg GateConfig) *Gate { return &Gate{cfg: cfg} }
+
+// MinMargin returns the configured publication margin.
+func (g *Gate) MinMargin() float64 { return g.cfg.MinMargin }
+
+// GateVerdict reports one champion/challenger evaluation.
+type GateVerdict struct {
+	// Publish is the gate's verdict: the challenger's holdout accuracy beat
+	// the champion's by at least MinMargin (or there was no holdout to
+	// judge on).
+	Publish bool
+	// Forced is set by callers that published regardless of the verdict
+	// (OnlineLearner.RetrainGated force, the /retrain?force=1 endpoint);
+	// the accuracy fields still carry the measured evaluation.
+	Forced bool
+	// ChampionAccuracy is the incumbent's holdout accuracy (0 with an empty
+	// holdout).
+	ChampionAccuracy float64
+	// ChallengerAccuracy is the retrained successor's holdout accuracy (0
+	// with an empty holdout).
+	ChallengerAccuracy float64
+	// Margin is ChallengerAccuracy - ChampionAccuracy, the quantity judged
+	// against MinMargin.
+	Margin float64
+	// HoldoutSize is how many held-out samples the verdict rests on. 0
+	// means the gate had no evidence and published by default.
+	HoldoutSize int
+}
+
+// marginEps absorbs float rounding when a margin is compared against
+// MinMargin: accuracies are ratios of small integers, so two models that
+// tie on the holdout must produce Margin == 0 exactly, but a caller-chosen
+// MinMargin may itself carry rounding.
+const marginEps = 1e-12
+
+// Evaluate scores champion and challenger on the holdout (X, y) and
+// returns the verdict. An empty holdout publishes by default — with no
+// evidence the gate cannot justify discarding a retrain that tracked newer
+// data (callers wanting hard gating must keep HoldoutFraction positive and
+// the window large enough to spare samples). Ties at exactly MinMargin
+// publish.
+func (g *Gate) Evaluate(champion, challenger *Model, X [][]float64, y []int) (GateVerdict, error) {
+	if champion == nil || challenger == nil {
+		return GateVerdict{}, fmt.Errorf("disthd: gate needs both a champion and a challenger")
+	}
+	if len(X) != len(y) {
+		return GateVerdict{}, fmt.Errorf("disthd: gate holdout has %d samples but %d labels", len(X), len(y))
+	}
+	if len(X) == 0 {
+		return GateVerdict{Publish: true}, nil
+	}
+	champ, err := champion.Evaluate(X, y)
+	if err != nil {
+		return GateVerdict{}, fmt.Errorf("disthd: gate champion: %w", err)
+	}
+	chall, err := challenger.Evaluate(X, y)
+	if err != nil {
+		return GateVerdict{}, fmt.Errorf("disthd: gate challenger: %w", err)
+	}
+	margin := chall - champ
+	return GateVerdict{
+		Publish:            margin >= g.cfg.MinMargin-marginEps,
+		ChampionAccuracy:   champ,
+		ChallengerAccuracy: chall,
+		Margin:             margin,
+		HoldoutSize:        len(X),
+	}, nil
+}

@@ -23,6 +23,12 @@ type RetrainConfig struct {
 	// Seed drives the retrain's shuffle and regeneration streams; retrains
 	// with different seeds explore different regeneration draws.
 	Seed uint64
+	// RegenBoost multiplies the model's regeneration rate R for this retrain
+	// when > 1 (capped so the boosted rate never exceeds 0.5): a severe drift
+	// warrants redrawing more of the encoder, not just more epochs. Values
+	// <= 1 leave the model's own rate untouched. ScaleForSeverity sets it
+	// alongside the iteration budget.
+	RegenBoost float64
 }
 
 // withDefaults fills unset fields.
@@ -43,6 +49,34 @@ func (c RetrainConfig) withDefaults() RetrainConfig {
 // per-retrain seeds through this single definition.
 func (c RetrainConfig) WithAttempt(n uint64) RetrainConfig {
 	c.Seed += (n + 1) * 0x9e3779b97f4a7c15
+	return c
+}
+
+// maxSeverityScale caps how far ScaleForSeverity may inflate a retrain
+// budget: a catastrophic accuracy collapse triples the warm budget, never
+// more — retrains must stay orders of magnitude cheaper than the drift
+// timescale they compensate.
+const maxSeverityScale = 3.0
+
+// ScaleForSeverity returns a copy of c whose retrain budget grows with the
+// measured drift severity (the accuracy drop below baseline, see
+// DriftReport): with severity at or below threshold the config is returned
+// unchanged, beyond it both the iteration budget and the regeneration rate
+// scale linearly with severity/threshold, capped at 3×. A mild sag gets the
+// cheap warm rerun; a collapse earns more epochs AND more redrawn encoder
+// dimensions, because a collapsed class geometry needs new dimensions, not
+// just re-fitted weights. Threshold <= 0 disables scaling.
+func (c RetrainConfig) ScaleForSeverity(severity, threshold float64) RetrainConfig {
+	if threshold <= 0 || severity <= threshold || math.IsNaN(severity) {
+		return c
+	}
+	scale := severity / threshold
+	if scale > maxSeverityScale {
+		scale = maxSeverityScale
+	}
+	c = c.withDefaults()
+	c.Iterations = int(math.Ceil(float64(c.Iterations) * scale))
+	c.RegenBoost = scale
 	return c
 }
 
@@ -78,6 +112,9 @@ func (m *Model) Retrain(X [][]float64, y []int, cfg RetrainConfig) (*Model, erro
 		cc.LearningRate = cfg.LearningRate
 	}
 	cc.Seed = cfg.Seed
+	if cfg.RegenBoost > 1 {
+		cc.RegenRate = math.Min(0.5, cc.RegenRate*cfg.RegenBoost)
+	}
 	// A short warm run has no room for the cold-start plateau heuristics.
 	cc.Patience = 0
 
@@ -132,6 +169,14 @@ type OnlineConfig struct {
 	// (re)bind before drift detection may fire (default 2·RecentWindow: one
 	// RecentWindow to freeze the baseline, one to fill the recent ring).
 	MinObservations int
+	// HoldoutFraction is the fraction of the feedback window carved into a
+	// stratified held-out slice — excluded from retrain data, used by the
+	// champion/challenger Gate to score an incumbent against a freshly
+	// retrained successor (SplitWindow documents the stratification). The
+	// zero value selects the default 0.20; pass a negative value to disable
+	// the holdout entirely (every sample trains, the gate has no evidence
+	// and publishes unconditionally). Must stay below 1.
+	HoldoutFraction float64
 	// Retrain configures the warm retrain the learner runs over its window.
 	Retrain RetrainConfig
 	// Seed drives the reservoir-sampling stream.
@@ -155,8 +200,14 @@ func (c OnlineConfig) withDefaults() (OnlineConfig, error) {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.HoldoutFraction == 0 {
+		c.HoldoutFraction = 0.20
+	}
+	if c.HoldoutFraction < 0 {
+		c.HoldoutFraction = 0
+	}
 	c.Retrain = c.Retrain.withDefaults()
-	if c.Window < 1 || c.RecentWindow < 1 || c.DriftThreshold < 0 || c.MinObservations < 1 {
+	if c.Window < 1 || c.RecentWindow < 1 || c.DriftThreshold < 0 || c.MinObservations < 1 || c.HoldoutFraction >= 1 {
 		return c, fmt.Errorf("disthd: invalid online config %+v", c)
 	}
 	return c, nil
@@ -189,21 +240,33 @@ type OnlineLearner struct {
 	seen    uint64 // stream length so far (reservoir mode)
 	sampler *rng.Rand
 
-	// Windowed accuracy over the last RecentWindow observations.
-	recent    []bool
-	recentLen int
-	recentPos int
-	recentOK  int
+	// Windowed accuracy over the last RecentWindow observations. The label
+	// ring mirrors the outcome ring so evicted observations can be removed
+	// from the per-class tallies.
+	recent      []bool
+	recentLabel []int
+	recentLen   int
+	recentPos   int
+	recentOK    int
+
+	// Per-class tallies over the recent ring — the drift-attribution
+	// substrate: clsRecentN[c]/clsRecentOK[c] count observations and correct
+	// predictions whose TRUE label is c.
+	clsRecentN  []int
+	clsRecentOK []int
 
 	// Baseline accuracy, frozen over the first RecentWindow observations
-	// after the model was (re)bound.
+	// after the model was (re)bound, with the matching per-class tallies.
 	obsSinceBind uint64
 	baseOK       int
 	baseN        int
+	clsBaseN     []int
+	clsBaseOK    []int
 
 	observations uint64
 	attempts     uint64
 	retrains     uint64
+	rejections   uint64
 }
 
 // NewOnlineLearner builds a learner bound to m.
@@ -215,18 +278,30 @@ func NewOnlineLearner(m *Model, cfg OnlineConfig) (*OnlineLearner, error) {
 	if err != nil {
 		return nil, err
 	}
+	k := m.Classes()
 	return &OnlineLearner{
-		m:       m,
-		cfg:     c,
-		winX:    make([]float64, c.Window*m.Features()),
-		winY:    make([]int, c.Window),
-		sampler: rng.New(c.Seed ^ 0x0b5e7),
-		recent:  make([]bool, c.RecentWindow),
+		m:           m,
+		cfg:         c,
+		winX:        make([]float64, c.Window*m.Features()),
+		winY:        make([]int, c.Window),
+		sampler:     rng.New(c.Seed ^ 0x0b5e7),
+		recent:      make([]bool, c.RecentWindow),
+		recentLabel: make([]int, c.RecentWindow),
+		clsRecentN:  make([]int, k),
+		clsRecentOK: make([]int, k),
+		clsBaseN:    make([]int, k),
+		clsBaseOK:   make([]int, k),
 	}, nil
 }
 
 // Model returns the currently bound model.
 func (l *OnlineLearner) Model() *Model { return l.m }
+
+// Config returns the learner's configuration with all defaults applied —
+// callers composing their own retrain schedules (serve.Learner) read the
+// effective DriftThreshold and HoldoutFraction from here rather than
+// re-deriving the defaults.
+func (l *OnlineLearner) Config() OnlineConfig { return l.cfg }
 
 // Observe ingests one labeled feedback sample: the bound model classifies
 // x, the outcome feeds the windowed-accuracy and drift estimates, and the
@@ -245,25 +320,35 @@ func (l *OnlineLearner) Observe(x []float64, label int) (correct bool, err error
 	}
 	correct = pred == label
 
-	// Accuracy bookkeeping.
+	// Accuracy bookkeeping, overall and per class (the true label's class
+	// owns the observation — attribution asks "whose samples is the model
+	// getting wrong", not "what is it mispredicting them as").
 	l.observations++
 	l.obsSinceBind++
 	if l.baseN < l.cfg.RecentWindow {
 		l.baseN++
+		l.clsBaseN[label]++
 		if correct {
 			l.baseOK++
+			l.clsBaseOK[label]++
 		}
 	}
 	if l.recentLen == l.cfg.RecentWindow {
+		old := l.recentLabel[l.recentPos]
+		l.clsRecentN[old]--
 		if l.recent[l.recentPos] {
 			l.recentOK--
+			l.clsRecentOK[old]--
 		}
 	} else {
 		l.recentLen++
 	}
 	l.recent[l.recentPos] = correct
+	l.recentLabel[l.recentPos] = label
+	l.clsRecentN[label]++
 	if correct {
 		l.recentOK++
+		l.clsRecentOK[label]++
 	}
 	l.recentPos = (l.recentPos + 1) % l.cfg.RecentWindow
 
@@ -325,6 +410,101 @@ func (l *OnlineLearner) DriftDetected() bool {
 	return l.WindowAccuracy() < l.BaselineAccuracy()-l.cfg.DriftThreshold
 }
 
+// ClassDrift attributes drift to one class: how the model's accuracy on
+// samples of this class moved between the post-bind baseline and the recent
+// observation window.
+type ClassDrift struct {
+	// Class is the class index.
+	Class int
+	// BaselineAccuracy is the class's accuracy over the frozen post-bind
+	// baseline (NaN when the class never appeared in it).
+	BaselineAccuracy float64
+	// WindowAccuracy is the class's accuracy over the recent observation
+	// window (NaN when the class is absent from it).
+	WindowAccuracy float64
+	// Drop is BaselineAccuracy - WindowAccuracy when both are defined, and 0
+	// otherwise — a class absent from either window cannot be attributed.
+	Drop float64
+	// Observations counts the class's samples in the recent window.
+	Observations int
+}
+
+// DriftReport is a point-in-time attribution of drift: the overall
+// accuracy drop plus a per-class breakdown identifying which classes'
+// windowed accuracy sags. OnlineLearner.DriftReport produces it; the
+// severity feeds RetrainConfig.ScaleForSeverity and the serving stats
+// endpoint surfaces the per-class rows.
+type DriftReport struct {
+	// Drift mirrors DriftDetected at the time of the report.
+	Drift bool
+	// Severity is the overall accuracy drop below baseline, clamped to
+	// >= 0. It stays 0 until both estimates are mature (the same
+	// MinObservations guard DriftDetected applies): an immature drop is
+	// sampling noise, and letting it through would hand a 3× severity-
+	// scaled budget to a retrain that saw no real drift.
+	Severity float64
+	// BaselineAccuracy and WindowAccuracy are the overall estimates behind
+	// Severity (NaN before any observation).
+	BaselineAccuracy float64
+	// WindowAccuracy is the overall accuracy over the recent window.
+	WindowAccuracy float64
+	// Classes holds one entry per class the model separates, indexed by
+	// class.
+	Classes []ClassDrift
+}
+
+// Worst returns the class with the largest positive accuracy Drop and that
+// drop, or (-1, 0) when no class has sagged — the headline of the
+// attribution.
+func (r DriftReport) Worst() (class int, drop float64) {
+	class = -1
+	for _, c := range r.Classes {
+		if c.Drop > drop {
+			class, drop = c.Class, c.Drop
+		}
+	}
+	if class == -1 {
+		return -1, 0
+	}
+	return class, drop
+}
+
+// DriftReport returns the current drift attribution: overall severity plus
+// per-class baseline-vs-window accuracy. Classes absent from a window carry
+// NaN accuracy and a zero Drop (no evidence, no attribution).
+func (l *OnlineLearner) DriftReport() DriftReport {
+	rep := DriftReport{
+		Drift:            l.DriftDetected(),
+		BaselineAccuracy: l.BaselineAccuracy(),
+		WindowAccuracy:   l.WindowAccuracy(),
+		Classes:          make([]ClassDrift, l.m.Classes()),
+	}
+	if l.obsSinceBind >= uint64(l.cfg.MinObservations) && l.baseN >= l.cfg.RecentWindow {
+		if d := rep.BaselineAccuracy - rep.WindowAccuracy; d > 0 {
+			rep.Severity = d
+		}
+	}
+	for c := range rep.Classes {
+		cd := ClassDrift{
+			Class:            c,
+			BaselineAccuracy: math.NaN(),
+			WindowAccuracy:   math.NaN(),
+			Observations:     l.clsRecentN[c],
+		}
+		if l.clsBaseN[c] > 0 {
+			cd.BaselineAccuracy = float64(l.clsBaseOK[c]) / float64(l.clsBaseN[c])
+		}
+		if l.clsRecentN[c] > 0 {
+			cd.WindowAccuracy = float64(l.clsRecentOK[c]) / float64(l.clsRecentN[c])
+		}
+		if l.clsBaseN[c] > 0 && l.clsRecentN[c] > 0 {
+			cd.Drop = cd.BaselineAccuracy - cd.WindowAccuracy
+		}
+		rep.Classes[c] = cd
+	}
+	return rep
+}
+
 // Window returns a copy of the retrain window (oldest-first in sliding
 // mode; sample order is meaningless in reservoir mode).
 func (l *OnlineLearner) Window() (X [][]float64, y []int) {
@@ -345,23 +525,117 @@ func (l *OnlineLearner) Window() (X [][]float64, y []int) {
 	return X, y
 }
 
+// SplitWindow partitions the feedback window into a training slice and a
+// stratified held-out slice: per class, a HoldoutFraction share of that
+// class's samples (at least one when the class has two or more, none when
+// it has exactly one — a lone sample is worth more as training data) goes
+// to the holdout. In sliding mode the NEWEST samples of each class are
+// held out, deliberately: the gate's decision target is the FUTURE stream,
+// and under drift the future resembles the newest feedback far more than
+// the window average — a holdout spread over the whole window would judge
+// the incumbent partly on the old regime it was trained on and hand it a
+// home-field advantage (false rejections, stalled adaptation). In
+// reservoir mode window order is NOT temporal (replacement overwrites
+// random slots), so "newest" is meaningless there; the holdout is instead
+// spread evenly through each class's samples, mirroring the uniform
+// stream sample the reservoir itself maintains. The judged challenger
+// forfeits nothing in the end: on a passing verdict RetrainGated refits
+// the published successor on the full window. The two slices are
+// disjoint, cover the whole window, and are fresh copies; the holdout is
+// empty when HoldoutFraction is disabled or the window is too small to
+// spare anything.
+func (l *OnlineLearner) SplitWindow() (trainX [][]float64, trainY []int, holdX [][]float64, holdY []int) {
+	X, y := l.Window()
+	if l.cfg.HoldoutFraction <= 0 || len(X) == 0 {
+		return X, y, nil, nil
+	}
+	// Per-class totals and holdout quotas over the snapshot (in sliding
+	// mode window order is oldest-first, so "the last quota[c] of class c"
+	// are its newest samples).
+	total := make([]int, l.m.Classes())
+	for _, c := range y {
+		total[c]++
+	}
+	quota := make([]int, l.m.Classes())
+	for c, n := range total {
+		q := int(l.cfg.HoldoutFraction * float64(n))
+		if q == 0 && n >= 2 {
+			q = 1
+		}
+		quota[c] = q
+	}
+	seen := make([]int, l.m.Classes())
+	for i, c := range y {
+		j := seen[c]
+		seen[c]++
+		var hold bool
+		if l.cfg.Reservoir {
+			// Even spread: held out when the quota line q·(j+1)/n crosses
+			// an integer — exactly quota[c] picks, spaced through the
+			// class's samples.
+			hold = quota[c] > 0 && (j+1)*quota[c]/total[c] > j*quota[c]/total[c]
+		} else {
+			hold = j >= total[c]-quota[c]
+		}
+		if hold {
+			holdX = append(holdX, X[i])
+			holdY = append(holdY, c)
+		} else {
+			trainX = append(trainX, X[i])
+			trainY = append(trainY, c)
+		}
+	}
+	return trainX, trainY, holdX, holdY
+}
+
+// Rejections returns how many gated retrains ended with the challenger
+// rejected (RetrainGated only; plain Retrain never rejects).
+func (l *OnlineLearner) Rejections() uint64 { return l.rejections }
+
+// bindable validates that m can replace the currently bound model.
+func (l *OnlineLearner) bindable(m *Model) error {
+	if m == nil {
+		return fmt.Errorf("disthd: rebind needs a model")
+	}
+	if m.Features() != l.m.Features() || m.Dim() != l.m.Dim() || m.Classes() != l.m.Classes() {
+		return fmt.Errorf("disthd: successor model shaped %d/%d/%d, learner bound to %d/%d/%d",
+			m.Features(), m.Dim(), m.Classes(), l.m.Features(), l.m.Dim(), l.m.Classes())
+	}
+	return nil
+}
+
+// UpgradeModel rebinds the learner to a successor of identical shape
+// WITHOUT resetting the accuracy baseline or drift state — for publishing
+// an upgrade that is statistically equivalent to the bound model, such as
+// the full-window refit behind an accepted challenger (same window, same
+// seed, 25% more data). Re-freezing the baseline for such a model would
+// only buy MinObservations of drift-detection dead time. For successors
+// that genuinely change behavior, use SetModel.
+func (l *OnlineLearner) UpgradeModel(m *Model) error {
+	if err := l.bindable(m); err != nil {
+		return err
+	}
+	l.m = m
+	return nil
+}
+
 // SetModel rebinds the learner to a successor model of identical shape —
 // called after a retrained or externally swapped model goes live. The
 // feedback window is kept (its labels are still valid training data); the
 // accuracy baseline and drift state reset, since they measured the old
 // model.
 func (l *OnlineLearner) SetModel(m *Model) error {
-	if m == nil {
-		return fmt.Errorf("disthd: SetModel needs a model")
-	}
-	if m.Features() != l.m.Features() || m.Dim() != l.m.Dim() || m.Classes() != l.m.Classes() {
-		return fmt.Errorf("disthd: successor model shaped %d/%d/%d, learner bound to %d/%d/%d",
-			m.Features(), m.Dim(), m.Classes(), l.m.Features(), l.m.Dim(), l.m.Classes())
+	if err := l.bindable(m); err != nil {
+		return err
 	}
 	l.m = m
 	l.obsSinceBind = 0
 	l.baseOK, l.baseN = 0, 0
 	l.recentLen, l.recentPos, l.recentOK = 0, 0, 0
+	for c := range l.clsBaseN {
+		l.clsBaseN[c], l.clsBaseOK[c] = 0, 0
+		l.clsRecentN[c], l.clsRecentOK[c] = 0, 0
+	}
 	return nil
 }
 
@@ -369,16 +643,17 @@ func (l *OnlineLearner) SetModel(m *Model) error {
 // rebinds the learner to it, and returns it. The previous model is left
 // untouched, so a caller serving it can publish the successor atomically
 // afterwards. Each attempt uses a distinct deterministic seed
-// (RetrainConfig.WithAttempt), so repeated retrains explore fresh
-// regeneration draws.
+// (RetrainConfig.WithAttempt) and a budget scaled by the measured drift
+// severity (RetrainConfig.ScaleForSeverity), so repeated retrains explore
+// fresh regeneration draws and severe drifts earn deeper reruns. Retrain
+// publishes unconditionally; RetrainGated puts a champion/challenger gate
+// in front of the rebind.
 func (l *OnlineLearner) Retrain() (*Model, error) {
 	if l.winLen == 0 {
 		return nil, fmt.Errorf("disthd: retrain with an empty feedback window")
 	}
 	X, y := l.Window()
-	rc := l.cfg.Retrain.WithAttempt(l.attempts)
-	l.attempts++
-	next, err := l.m.Retrain(X, y, rc)
+	next, err := l.retrainOn(X, y)
 	if err != nil {
 		return nil, err
 	}
@@ -387,4 +662,73 @@ func (l *OnlineLearner) Retrain() (*Model, error) {
 		return nil, err
 	}
 	return next, nil
+}
+
+// retrainOn trains one challenger on (X, y) with the per-attempt seed and
+// severity-scaled budget — the step Retrain and RetrainGated share.
+func (l *OnlineLearner) retrainOn(X [][]float64, y []int) (*Model, error) {
+	rc := l.nextRetrainConfig()
+	return l.m.Retrain(X, y, rc)
+}
+
+// nextRetrainConfig derives the next attempt's retrain config: per-attempt
+// seed (WithAttempt) and severity-scaled budget (ScaleForSeverity).
+func (l *OnlineLearner) nextRetrainConfig() RetrainConfig {
+	rc := l.cfg.Retrain.WithAttempt(l.attempts).
+		ScaleForSeverity(l.DriftReport().Severity, l.cfg.DriftThreshold)
+	l.attempts++
+	return rc
+}
+
+// RetrainGated warm-retrains a challenger on the training slice of the
+// window (SplitWindow) and publishes only if it passes the gate on the
+// held-out slice. On a passing (or forced) verdict the incumbent is REFIT
+// on the full window — holdout included, identical budget and seed, in
+// window order — then the learner rebinds to the refit and returns it: the
+// judged challenger's role was to prove the window trustworthy, and a
+// deployed model should not forfeit the held-out share of its training
+// data (the classic train/validate-then-refit pattern, at one extra warm
+// retrain per publish). Because the refit is trained exactly as an
+// ungated Retrain would be, the gate changes WHICH retrains publish, never
+// what a published retrain looks like. On rejection the incumbent stays
+// bound, Rejections increments, and the returned model is nil. force
+// publishes regardless of the verdict (which still reports the measured
+// margins, with Forced set). The budget is severity-scaled exactly as in
+// Retrain.
+func (l *OnlineLearner) RetrainGated(g *Gate, force bool) (*Model, GateVerdict, error) {
+	if g == nil {
+		return nil, GateVerdict{}, fmt.Errorf("disthd: RetrainGated needs a gate")
+	}
+	if l.winLen == 0 {
+		return nil, GateVerdict{}, fmt.Errorf("disthd: retrain with an empty feedback window")
+	}
+	// SplitWindow never starves training: with HoldoutFraction < 1
+	// (enforced by withDefaults) every class keeps at least one sample, so
+	// a non-empty window always yields a non-empty training slice.
+	trainX, trainY, holdX, holdY := l.SplitWindow()
+	rc := l.nextRetrainConfig()
+	next, err := l.m.Retrain(trainX, trainY, rc)
+	if err != nil {
+		return nil, GateVerdict{}, err
+	}
+	v, err := g.Evaluate(l.m, next, holdX, holdY)
+	if err != nil {
+		return nil, GateVerdict{}, err
+	}
+	v.Forced = force
+	if !v.Publish && !force {
+		l.rejections++
+		return nil, v, nil
+	}
+	if len(holdX) > 0 {
+		X, y := l.Window()
+		if next, err = l.m.Retrain(X, y, rc); err != nil {
+			return nil, v, err
+		}
+	}
+	l.retrains++
+	if err := l.SetModel(next); err != nil {
+		return nil, v, err
+	}
+	return next, v, nil
 }

@@ -1,0 +1,59 @@
+#!/bin/sh
+# drift_http_smoke.sh — the live-HTTP driftgen CI smoke: build the real
+# binaries, start disthd-serve with the gated learner attached, run one
+# CI-sized `hdbench -driftgen -quick -http` pass against it over loopback
+# (the driftgen side polls /healthz, so no readiness dance is needed here),
+# then SIGTERM the server and assert the drain completed cleanly (the
+# "bye:" line only prints after every accepted micro-batch is answered).
+#
+# The server's -demo/-dim must match driftgen's -quick shape (PAMAP2,
+# D=128) so the benchmark can install its own base model via /swap.
+set -eu
+
+GO=${GO:-go}
+ADDR=${DRIFT_SMOKE_ADDR:-127.0.0.1:18086}
+TMP=$(mktemp -d)
+SERVE_PID=""
+
+cleanup() {
+    if [ -n "$SERVE_PID" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
+        kill -9 "$SERVE_PID" 2>/dev/null || true
+    fi
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "drift-http-smoke: building binaries..."
+$GO build -o "$TMP/disthd-serve" ./cmd/disthd-serve
+$GO build -o "$TMP/hdbench" ./cmd/hdbench
+
+echo "drift-http-smoke: starting disthd-serve on $ADDR..."
+"$TMP/disthd-serve" -addr "$ADDR" -demo PAMAP2 -dim 128 -scale 0.05 \
+    -learn -auto-retrain -learn-window 128 -learn-recent 32 \
+    -drift-threshold 0.10 -retrain-iters 3 -retrain-cooldown 1ms \
+    >"$TMP/serve.log" 2>&1 &
+SERVE_PID=$!
+
+echo "drift-http-smoke: running hdbench -driftgen -quick -http $ADDR..."
+if ! "$TMP/hdbench" -driftgen -quick -http "$ADDR" -drift-kinds shift; then
+    echo "drift-http-smoke: driftgen FAILED; server log:"
+    cat "$TMP/serve.log"
+    exit 1
+fi
+
+echo "drift-http-smoke: draining server with SIGTERM..."
+kill -TERM "$SERVE_PID"
+STATUS=0
+wait "$SERVE_PID" || STATUS=$?
+SERVE_PID=""
+if [ "$STATUS" -ne 0 ]; then
+    echo "drift-http-smoke: server exited with status $STATUS; log:"
+    cat "$TMP/serve.log"
+    exit 1
+fi
+if ! grep -q "bye:" "$TMP/serve.log"; then
+    echo "drift-http-smoke: server never reported a completed drain; log:"
+    cat "$TMP/serve.log"
+    exit 1
+fi
+echo "drift-http-smoke: OK (clean SIGTERM drain)"

@@ -19,12 +19,14 @@ import (
 //	GET  /stats                                 -> serve.Snapshot JSON
 //	POST /swap           <Model.Save bytes>     -> {"swaps":2}
 //	POST /learn          {"x":[...],"label":3}  -> serve.FeedResult JSON
-//	POST /retrain                               -> {"started":true}
+//	POST /retrain[?force=1]                     -> {"started":true,...}
 //
 // /learn and /retrain are live only after AttachLearner; without a learner
-// they return 404. Prediction errors map to 400 (malformed input), 409
-// (/swap shape mismatch, /retrain already in flight) or 503 (closed
-// batcher). Create one with NewServer, mount Handler on any mux or call
+// they return 404. A /retrain challenger answers to the champion/challenger
+// gate like any drift-triggered one; ?force=1 publishes it regardless of
+// the verdict. Prediction errors map to 400 (malformed input), 409 (/swap
+// shape mismatch, /retrain already in flight) or 503 (closed batcher).
+// Create one with NewServer, mount Handler on any mux or call
 // ListenAndServe, and Close to drain.
 type Server struct {
 	b       *Batcher
@@ -205,15 +207,22 @@ func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
-// handleRetrain forces a background retrain on the attached learner: 202
+// handleRetrain starts a background retrain on the attached learner: 202
 // when one starts, 409 when one is already in flight or the window is still
-// too small. The response returns immediately; poll /stats for completion.
+// too small. The challenger still answers to the champion/challenger gate;
+// ?force=1 publishes it regardless of the verdict. The response returns
+// immediately; poll /stats for the gate outcome and completion.
 func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
 	if s.learner == nil {
 		writeError(w, http.StatusNotFound, errNoLearner)
 		return
 	}
-	started, err := s.learner.Retrain()
+	force := false
+	switch r.URL.Query().Get("force") {
+	case "1", "true":
+		force = true
+	}
+	started, err := s.learner.Retrain(force)
 	if err != nil {
 		writeError(w, http.StatusConflict, err)
 		return
@@ -222,7 +231,7 @@ func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, errors.New("serve: a retrain is already in flight"))
 		return
 	}
-	writeJSON(w, http.StatusAccepted, map[string]bool{"started": true})
+	writeJSON(w, http.StatusAccepted, map[string]bool{"started": true, "forced": force})
 }
 
 // errNoLearner answers the learning endpoints when no Learner is attached.

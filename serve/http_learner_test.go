@@ -90,8 +90,10 @@ func TestHTTPLearnFlow(t *testing.T) {
 	if snap.Learner.Retrains != 1 {
 		t.Fatalf("learner retrains gauge %d, want 1", snap.Learner.Retrains)
 	}
-	if snap.Swaps != 1 {
-		t.Fatalf("swap counter %d after retrain publish, want 1", snap.Swaps)
+	// A gated accept swaps twice: the judged challenger, then the
+	// full-window refit.
+	if snap.Swaps != 2 {
+		t.Fatalf("swap counter %d after gated retrain publish, want 2", snap.Swaps)
 	}
 
 	// A /retrain racing an in-flight one answers 409, not a second run.

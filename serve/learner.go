@@ -35,6 +35,19 @@ type LearnerOptions struct {
 	Iterations int
 	// LearningRate overrides the model's training-time η when positive.
 	LearningRate float64
+	// HoldoutFraction is the fraction of the feedback window held out from
+	// retrain data for the champion/challenger gate (default 0.20 via
+	// disthd.OnlineConfig; negative disables the holdout — the gate then
+	// has no evidence and publishes unconditionally).
+	HoldoutFraction float64
+	// GateMargin is the holdout-accuracy lead a challenger needs to publish
+	// (disthd.GateConfig.MinMargin; default 0 — a tie publishes).
+	GateMargin float64
+	// GateDisabled publishes every completed retrain unconditionally, the
+	// pre-gate behavior — the control arm `hdbench -driftgen` measures the
+	// gate against. The window is then not split: retrains train on every
+	// sample.
+	GateDisabled bool
 	// Auto starts a background retrain whenever feedback ingestion detects
 	// drift (subject to MinRetrain and Cooldown). Without it, retrains run
 	// only on explicit Retrain calls (the /retrain endpoint).
@@ -81,6 +94,16 @@ type FeedResult struct {
 // finish on the old weights, later ones classify with the new. The serving
 // hot path is untouched: a Learner costs nothing until feedback arrives.
 //
+// Every retrain (drift-triggered or /retrain-forced) routes through a
+// champion/challenger gate unless GateDisabled: the challenger trains on
+// the window's training slice with a drift-severity-scaled budget, is
+// scored against the serving incumbent on the stratified holdout
+// (disthd.Gate), and publishes only on a passing margin. A rejected
+// challenger is dropped — counted in the gate gauges and reported in
+// /stats with its losing margin — and the incumbent keeps serving.
+// /retrain?force=1 bypasses the verdict (the evaluation still runs and is
+// reported).
+//
 // Concurrency: Feed and Retrain may be called from any number of
 // goroutines; the learner state is guarded by one mutex, while the retrain
 // itself (the expensive part) runs outside it on a window snapshot. At most
@@ -88,6 +111,7 @@ type FeedResult struct {
 type Learner struct {
 	sw   *Swapper
 	opts LearnerOptions
+	gate *disthd.Gate // nil when GateDisabled
 
 	mu sync.Mutex // guards ol
 	ol *disthd.OnlineLearner
@@ -98,9 +122,14 @@ type Learner struct {
 	attempts     atomic.Uint64
 	retrains     atomic.Uint64
 	retrainErrs  atomic.Uint64
-	lastRetrain  atomic.Int64 // wall-clock ns of the last completed retrain
-	lastDuration atomic.Int64 // duration ns of the last completed retrain
-	lastAuto     atomic.Int64 // wall-clock ns of the last auto trigger
+	gateAccepts  atomic.Uint64
+	gateRejects  atomic.Uint64
+	rejectAt     atomic.Uint64              // 1 + feedback count at the last rejection
+	lastGate     atomic.Pointer[GateResult] // last gate evaluation, any outcome
+	lastReject   atomic.Pointer[GateResult] // last rejected challenger
+	lastRetrain  atomic.Int64               // wall-clock ns of the last completed retrain
+	lastDuration atomic.Int64               // duration ns of the last completed retrain
+	lastAuto     atomic.Int64               // wall-clock ns of the last auto trigger
 	wg           sync.WaitGroup
 }
 
@@ -111,11 +140,17 @@ func NewLearner(sw *Swapper, opts LearnerOptions) (*Learner, error) {
 		return nil, fmt.Errorf("serve: NewLearner needs a swapper")
 	}
 	o := opts.withDefaults()
+	holdout := o.HoldoutFraction
+	if o.GateDisabled {
+		// No gate, no reason to starve the retrain of holdout samples.
+		holdout = -1
+	}
 	ol, err := disthd.NewOnlineLearner(sw.Current(), disthd.OnlineConfig{
-		Window:         o.Window,
-		Reservoir:      o.Reservoir,
-		RecentWindow:   o.RecentWindow,
-		DriftThreshold: o.DriftThreshold,
+		Window:          o.Window,
+		Reservoir:       o.Reservoir,
+		RecentWindow:    o.RecentWindow,
+		DriftThreshold:  o.DriftThreshold,
+		HoldoutFraction: holdout,
 		Retrain: disthd.RetrainConfig{
 			Iterations:   o.Iterations,
 			LearningRate: o.LearningRate,
@@ -126,7 +161,11 @@ func NewLearner(sw *Swapper, opts LearnerOptions) (*Learner, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Learner{sw: sw, opts: o, ol: ol}, nil
+	l := &Learner{sw: sw, opts: o, ol: ol}
+	if !o.GateDisabled {
+		l.gate = disthd.NewGate(disthd.GateConfig{MinMargin: o.GateMargin})
+	}
+	return l, nil
 }
 
 // Feed ingests one labeled feedback sample: the served model's verdict
@@ -172,11 +211,21 @@ func (l *Learner) Feed(x []float64, label int) (FeedResult, error) {
 // loses to an in-flight retrain does not consume the cooldown, so the next
 // drifted Feed after that retrain finishes can fire immediately.
 func (l *Learner) startAutoRetrain() bool {
+	// Rejection backoff: a rejected challenger means the window's evidence
+	// does not support publishing — retrying before that evidence has
+	// materially changed only burns retrain cycles re-judging the same
+	// window (and, on a small host, steals them from serving). Wait for a
+	// full RecentWindow of fresh feedback after a rejection (the windowed
+	// accuracy estimate has then completely turned over) before the next
+	// drift-triggered attempt; a manual /retrain is never held back.
+	if at := l.rejectAt.Load(); at > 0 && l.feedback.Load()-(at-1) < uint64(l.opts.RecentWindow) {
+		return false
+	}
 	now := time.Now().UnixNano()
 	if now-l.lastAuto.Load() < l.opts.Cooldown.Nanoseconds() {
 		return false
 	}
-	if !l.startRetrain() {
+	if !l.startRetrain(false) {
 		return false
 	}
 	l.lastAuto.Store(now)
@@ -185,19 +234,21 @@ func (l *Learner) startAutoRetrain() bool {
 
 // Retrain starts a background retrain over the current window. It returns
 // false without starting one when a retrain is already in flight or the
-// window holds fewer than MinRetrain samples.
-func (l *Learner) Retrain() (started bool, err error) {
+// window holds fewer than MinRetrain samples. force publishes the
+// challenger even when the gate's verdict is reject — the operator's
+// escape hatch (/retrain?force=1) for when the holdout itself is suspect.
+func (l *Learner) Retrain(force bool) (started bool, err error) {
 	l.mu.Lock()
 	n := l.ol.WindowLen()
 	l.mu.Unlock()
 	if n < l.opts.MinRetrain {
 		return false, fmt.Errorf("serve: retrain window holds %d samples, need %d", n, l.opts.MinRetrain)
 	}
-	return l.startRetrain(), nil
+	return l.startRetrain(force), nil
 }
 
 // startRetrain claims the single retrain slot and launches the worker.
-func (l *Learner) startRetrain() bool {
+func (l *Learner) startRetrain(force bool) bool {
 	if !l.retraining.CompareAndSwap(false, true) {
 		return false
 	}
@@ -205,57 +256,167 @@ func (l *Learner) startRetrain() bool {
 	go func() {
 		defer l.wg.Done()
 		defer l.retraining.Store(false)
-		l.runRetrain()
+		l.runRetrain(force)
 	}()
 	return true
 }
 
-// runRetrain executes one retrain: snapshot the window and the serving
-// model under the lock, train the successor outside it, publish through the
-// Swapper, then rebind the learner. Requests keep flowing the whole time.
-func (l *Learner) runRetrain() {
+// runRetrain executes one retrain: snapshot the window split and the
+// serving model under the lock, train the challenger outside it on the
+// training slice (severity-scaled budget), judge it against the incumbent
+// on the holdout, and only on a passing (or forced) verdict publish through
+// the Swapper and rebind the learner. Requests keep flowing the whole time;
+// a rejected challenger is dropped without ever touching the Swapper.
+func (l *Learner) runRetrain(force bool) {
 	l.mu.Lock()
-	X, y := l.ol.Window()
+	trainX, trainY, holdX, holdY := l.ol.SplitWindow()
+	severity := l.ol.DriftReport().Severity
+	threshold := l.ol.Config().DriftThreshold
 	cur := l.sw.Current()
 	attempt := l.attempts.Add(1) - 1
 	l.mu.Unlock()
-	if len(X) == 0 {
+	if len(trainX) == 0 {
 		l.retrainErrs.Add(1)
 		return
 	}
 
 	start := time.Now()
-	// Per-attempt seed derivation is shared with OnlineLearner.Retrain
-	// (RetrainConfig.WithAttempt): repeated retrains explore fresh
-	// regeneration draws, deterministically.
-	next, err := cur.Retrain(X, y, disthd.RetrainConfig{
+	// Per-attempt seed derivation and severity scaling are shared with
+	// OnlineLearner.Retrain (RetrainConfig.WithAttempt / ScaleForSeverity):
+	// repeated retrains explore fresh regeneration draws deterministically,
+	// and a deeper accuracy collapse earns a deeper rerun.
+	rc := disthd.RetrainConfig{
 		Iterations:   l.opts.Iterations,
 		LearningRate: l.opts.LearningRate,
 		Seed:         l.opts.Seed,
-	}.WithAttempt(attempt))
+	}.WithAttempt(attempt).ScaleForSeverity(severity, threshold)
+	next, err := cur.Retrain(trainX, trainY, rc)
 	if err != nil {
 		l.retrainErrs.Add(1)
 		return
 	}
-	if err := l.sw.Swap(next); err != nil {
-		// Shape mismatches cannot happen (Retrain preserves shape); a
-		// failure here means the swapper was closed around us.
-		l.retrainErrs.Add(1)
+	var res *GateResult
+	if l.gate != nil {
+		v, err := l.gate.Evaluate(cur, next, holdX, holdY)
+		if err != nil {
+			l.retrainErrs.Add(1)
+			return
+		}
+		res = &GateResult{
+			Passed:             v.Publish,
+			Forced:             force,
+			ChampionAccuracy:   v.ChampionAccuracy,
+			ChallengerAccuracy: v.ChallengerAccuracy,
+			Margin:             v.Margin,
+			HoldoutSize:        v.HoldoutSize,
+		}
+		if !v.Publish && !force {
+			l.lastGate.Store(res)
+			l.gateRejects.Add(1)
+			l.lastReject.Store(res)
+			l.rejectAt.Store(l.feedback.Load() + 1)
+			return
+		}
+	}
+	if !l.publish(next) {
+		// The challenger never served: record the evaluation with
+		// Published false so gate_accepts keeps matching challengers that
+		// actually went live.
+		if res != nil {
+			l.lastGate.Store(res)
+		}
 		return
 	}
-	l.mu.Lock()
-	// Feed may already have rebound to `next` via sw.Current; SetModel is
-	// idempotent for the same pointer apart from resetting the baseline,
-	// which is wanted either way.
-	if err := l.ol.SetModel(next); err != nil {
-		l.mu.Unlock()
-		l.retrainErrs.Add(1)
-		return
+	if res != nil {
+		res.Published = true
+		l.lastGate.Store(res)
+		l.gateAccepts.Add(1)
 	}
-	l.mu.Unlock()
+	// The retrain gauges are recorded at the stage-one publish: the
+	// successor is serving from this moment, whatever becomes of the refit
+	// upgrade below (a failed refit adds a retrain error but cannot
+	// un-publish the challenger or corrupt the completion record).
 	l.retrains.Add(1)
 	l.lastDuration.Store(int64(time.Since(start)))
 	l.lastRetrain.Store(time.Now().UnixNano())
+	if l.gate != nil && len(holdX) > 0 {
+		// The accepted challenger is already serving; now refit the
+		// incumbent on the FULL window — holdout included, identical budget
+		// and seed, window order — and publish the upgrade behind it. The
+		// judged challenger proved the window trustworthy, and the deployed
+		// model should not forfeit the held-out share of its training data
+		// (the classic train/validate-then-refit pattern; see
+		// disthd.OnlineLearner.RetrainGated). Training the refit exactly as
+		// an ungated retrain would also means the gate changes WHICH
+		// retrains publish, never what a published retrain looks like.
+		// Publishing the challenger first keeps the gate from costing
+		// adaptation latency: traffic runs on adapted weights while the
+		// refit trains. The full window is snapshotted only now — rejected
+		// retrains never pay for the copy — so the refit trains on the
+		// freshest window (identical to the split snapshot whenever no
+		// feedback arrived in between, as in the deterministic benchmark).
+		l.mu.Lock()
+		fullX, fullY := l.ol.Window()
+		l.mu.Unlock()
+		full, err := cur.Retrain(fullX, fullY, rc)
+		if err != nil {
+			l.retrainErrs.Add(1)
+			return
+		}
+		if !l.publishUpgrade(next, full) {
+			return
+		}
+		// Refresh the gauges so they cover the upgrade too.
+		l.lastDuration.Store(int64(time.Since(start)))
+		l.lastRetrain.Store(time.Now().UnixNano())
+	}
+}
+
+// publishUpgrade swaps the full-window refit in behind the stage-one
+// challenger, but ONLY if that challenger is still what is serving
+// (Swapper.SwapIfCurrent — a compare-and-swap, so even an operator /swap
+// landing in the same instant wins): silently replacing an externally
+// published model (and inheriting drift state measured against it) would
+// discard an acknowledged operator action and corrupt the baseline. An
+// abandoned upgrade is not an error; the accepted challenger already
+// served its purpose.
+func (l *Learner) publishUpgrade(expected, full *disthd.Model) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	swapped, err := l.sw.SwapIfCurrent(expected, full)
+	if err != nil {
+		l.retrainErrs.Add(1)
+		return false
+	}
+	if !swapped {
+		return false
+	}
+	if err := l.ol.UpgradeModel(full); err != nil {
+		l.retrainErrs.Add(1)
+		return false
+	}
+	return true
+}
+
+// publish swaps next into serving and rebinds the learner to it (resetting
+// the accuracy baseline — the successor behaves differently from what the
+// estimates measured), atomically with respect to Feed (whose
+// external-swap rebind check would otherwise race the two steps). A false
+// return means the swapper was closed around us or the successor is
+// somehow misshaped — both counted as retrain errors (shape mismatches
+// cannot happen on this path: Retrain preserves shape).
+func (l *Learner) publish(next *disthd.Model) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.sw.Swap(next); err != nil {
+		l.retrainErrs.Add(1)
+		return false
+	}
+	if err := l.ol.SetModel(next); err != nil {
+		l.retrainErrs.Add(1)
+		return false
+	}
+	return true
 }
 
 // Retraining reports whether a retrain is in flight right now.
@@ -282,12 +443,33 @@ type LearnerSnapshot struct {
 	Drift bool `json:"drift"`
 	// DriftEvents counts feedback ingestions that observed a drift flag.
 	DriftEvents uint64 `json:"drift_events"`
+	// DriftSeverity is the overall accuracy drop below the baseline,
+	// clamped to >= 0 — what the retrain budget scales by.
+	DriftSeverity float64 `json:"drift_severity"`
+	// ClassAccuracy attributes drift per class: baseline vs window accuracy
+	// and the drop, for every class the served model separates.
+	ClassAccuracy []ClassAccuracy `json:"class_accuracy,omitempty"`
 	// Retraining is whether a background retrain is in flight.
 	Retraining bool `json:"retraining"`
 	// Retrains counts completed (published) retrains.
 	Retrains uint64 `json:"retrains"`
 	// RetrainErrors counts retrains that failed before publishing.
 	RetrainErrors uint64 `json:"retrain_errors"`
+	// GateEnabled is whether retrains route through the champion/challenger
+	// gate.
+	GateEnabled bool `json:"gate_enabled"`
+	// GateAccepts counts challengers the gate published (forced publishes
+	// included).
+	GateAccepts uint64 `json:"gate_accepts"`
+	// GateRejects counts challengers the gate dropped; the incumbent kept
+	// serving through each.
+	GateRejects uint64 `json:"gate_rejects"`
+	// LastGate is the most recent gate evaluation, whatever its outcome
+	// (nil before the first gated retrain).
+	LastGate *GateResult `json:"last_gate,omitempty"`
+	// LastRejection is the most recent rejected challenger with its losing
+	// margin (nil while no challenger has been rejected).
+	LastRejection *GateResult `json:"last_rejection,omitempty"`
 	// LastRetrainMs is the duration of the last completed retrain.
 	LastRetrainMs float64 `json:"last_retrain_ms"`
 	// LastRetrainUnix is the wall-clock second the last retrain published
@@ -295,19 +477,29 @@ type LearnerSnapshot struct {
 	LastRetrainUnix int64 `json:"last_retrain_unix"`
 }
 
+// jsonNum flattens the NaN of an empty estimator to 0 — JSON has no NaN.
+func jsonNum(v float64) float64 {
+	if v != v {
+		return 0
+	}
+	return v
+}
+
 // Snapshot returns the current learner gauges.
 func (l *Learner) Snapshot() LearnerSnapshot {
 	l.mu.Lock()
 	winLen := l.ol.WindowLen()
-	winAcc := l.ol.WindowAccuracy()
-	baseAcc := l.ol.BaselineAccuracy()
-	drift := l.ol.DriftDetected()
+	rep := l.ol.DriftReport()
 	l.mu.Unlock()
-	if winAcc != winAcc { // NaN before any feedback: JSON needs a number
-		winAcc = 0
-	}
-	if baseAcc != baseAcc {
-		baseAcc = 0
+	classes := make([]ClassAccuracy, len(rep.Classes))
+	for i, c := range rep.Classes {
+		classes[i] = ClassAccuracy{
+			Class:            c.Class,
+			BaselineAccuracy: jsonNum(c.BaselineAccuracy),
+			WindowAccuracy:   jsonNum(c.WindowAccuracy),
+			Drop:             c.Drop,
+			Observations:     c.Observations,
+		}
 	}
 	var lastUnix int64
 	if ns := l.lastRetrain.Load(); ns > 0 {
@@ -316,13 +508,20 @@ func (l *Learner) Snapshot() LearnerSnapshot {
 	return LearnerSnapshot{
 		Feedback:         l.feedback.Load(),
 		WindowLen:        winLen,
-		WindowAccuracy:   winAcc,
-		BaselineAccuracy: baseAcc,
-		Drift:            drift,
+		WindowAccuracy:   jsonNum(rep.WindowAccuracy),
+		BaselineAccuracy: jsonNum(rep.BaselineAccuracy),
+		Drift:            rep.Drift,
 		DriftEvents:      l.drifts.Load(),
+		DriftSeverity:    rep.Severity,
+		ClassAccuracy:    classes,
 		Retraining:       l.retraining.Load(),
 		Retrains:         l.retrains.Load(),
 		RetrainErrors:    l.retrainErrs.Load(),
+		GateEnabled:      l.gate != nil,
+		GateAccepts:      l.gateAccepts.Load(),
+		GateRejects:      l.gateRejects.Load(),
+		LastGate:         l.lastGate.Load(),
+		LastRejection:    l.lastReject.Load(),
 		LastRetrainMs:    float64(l.lastDuration.Load()) / 1e6,
 		LastRetrainUnix:  lastUnix,
 	}

@@ -82,7 +82,7 @@ func TestLearnerRetrainPublishes(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	started, err := l.Retrain()
+	started, err := l.Retrain(false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,8 +97,10 @@ func TestLearnerRetrainPublishes(t *testing.T) {
 	if b.Model() == before {
 		t.Fatal("retrain did not publish a successor through the swapper")
 	}
-	if b.Swapper().Swaps() != 1 {
-		t.Fatalf("swap count %d, want 1", b.Swapper().Swaps())
+	// A gated accept publishes twice: the judged challenger immediately,
+	// then the full-window refit behind it.
+	if b.Swapper().Swaps() != 2 {
+		t.Fatalf("swap count %d, want 2 (challenger + refit)", b.Swapper().Swaps())
 	}
 	if snap.LastRetrainMs <= 0 || snap.LastRetrainUnix == 0 {
 		t.Fatalf("retrain timing gauges not set: %+v", snap)
@@ -111,7 +113,7 @@ func TestLearnerRetrainPublishes(t *testing.T) {
 
 func TestLearnerRetrainGates(t *testing.T) {
 	_, l, st := learnerFixture(t, LearnerOptions{MinRetrain: 32})
-	if started, err := l.Retrain(); err == nil || started {
+	if started, err := l.Retrain(false); err == nil || started {
 		t.Fatal("retrain allowed on an empty window")
 	}
 	for i := 0; i < 8; i++ {
@@ -119,12 +121,16 @@ func TestLearnerRetrainGates(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if started, err := l.Retrain(); err == nil || started {
+	if started, err := l.Retrain(false); err == nil || started {
 		t.Fatal("retrain allowed below MinRetrain")
 	}
 }
 
 func TestLearnerAutoRetrainsOnDrift(t *testing.T) {
+	// GateDisabled: this test pins the ungated auto-retrain publish
+	// mechanics on a deliberately noisy fixture whose challengers the gate
+	// may (correctly) reject; the gated paths are covered by
+	// TestLearnerGate* and the HTTP gate tests.
 	b, l, st := learnerFixture(t, LearnerOptions{
 		RecentWindow:   16,
 		MinRetrain:     32,
@@ -132,6 +138,7 @@ func TestLearnerAutoRetrainsOnDrift(t *testing.T) {
 		Iterations:     2,
 		Auto:           true,
 		Cooldown:       time.Millisecond,
+		GateDisabled:   true,
 	})
 	before := b.Model()
 	// Clean phase: establish a baseline, no retrain may fire.
@@ -215,7 +222,7 @@ func TestLearnerConcurrentFeedAndRetrain(t *testing.T) {
 					return
 				}
 				if i%25 == 0 {
-					l.Retrain() //nolint:errcheck // gating errors are expected here
+					l.Retrain(false) //nolint:errcheck // gating errors are expected here
 				}
 				if _, err := b.Predict(st.test.X[i%len(st.test.X)]); err != nil {
 					t.Error(err)

@@ -14,14 +14,18 @@
 // Around the Batcher sit the Swapper, which hot-swaps the served model
 // behind an atomic pointer so online retraining can publish new weights
 // mid-traffic without dropping a request; the Learner, which closes the
-// DistHD loop online — labeled feedback in, drift detection over windowed
-// accuracy, warm background retraining on the feedback window, successor
-// published through the Swapper — without ever touching the flush path;
-// and the Server, which exposes the whole thing over HTTP/JSON (/predict,
-// /predict_batch, /healthz, /stats, /swap, /learn, /retrain).
+// DistHD loop online — labeled feedback in, drift detection with
+// per-class attribution over windowed accuracy, warm background
+// retraining on the feedback window with a severity-scaled budget, and a
+// champion/challenger gate (disthd.Gate) that publishes a successor
+// through the Swapper only after it beats the serving incumbent on a
+// stratified holdout — without ever touching the flush path; and the
+// Server, which exposes the whole thing over HTTP/JSON (/predict,
+// /predict_batch, /healthz, /stats, /swap, /learn, /retrain?force=1).
 // cmd/disthd-serve is the runnable binary; `hdbench -loadgen` measures the
 // throughput-vs-concurrency curve and `hdbench -driftgen` the
-// frozen-vs-adaptive accuracy under a drifting stream.
+// frozen-vs-ungated-vs-gated accuracy under a drifting stream, in-process
+// or against a live server (-http).
 package serve
 
 import (

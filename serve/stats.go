@@ -100,6 +100,48 @@ func (s *Stats) observeBatch(n int) {
 	s.occupancy.observe(uint64(n))
 }
 
+// ClassAccuracy is the JSON shape of one class's drift attribution row
+// (disthd.ClassDrift with NaNs flattened to 0 for the wire): how the served
+// model's accuracy on this class moved between the post-bind baseline and
+// the recent observation window. Classes with zero Observations carry no
+// evidence — their accuracy fields are reported as 0.
+type ClassAccuracy struct {
+	// Class is the class index.
+	Class int `json:"class"`
+	// BaselineAccuracy is the class's accuracy over the frozen post-bind
+	// baseline.
+	BaselineAccuracy float64 `json:"baseline_accuracy"`
+	// WindowAccuracy is the class's accuracy over the recent window.
+	WindowAccuracy float64 `json:"window_accuracy"`
+	// Drop is baseline minus window when both are defined, 0 otherwise —
+	// the per-class drift attribution signal.
+	Drop float64 `json:"drop"`
+	// Observations counts the class's samples in the recent window.
+	Observations int `json:"observations"`
+}
+
+// GateResult is the JSON shape of one champion/challenger gate evaluation
+// (disthd.GateVerdict plus what the learner did with it), embedded in the
+// learner gauges as the last verdict and the last rejection.
+type GateResult struct {
+	// Published is whether the challenger went live.
+	Published bool `json:"published"`
+	// Passed is the gate's own verdict; a forced retrain can publish with
+	// Passed false.
+	Passed bool `json:"passed"`
+	// Forced is whether the publication bypassed the gate
+	// (/retrain?force=1).
+	Forced bool `json:"forced"`
+	// ChampionAccuracy is the incumbent's holdout accuracy.
+	ChampionAccuracy float64 `json:"champion_accuracy"`
+	// ChallengerAccuracy is the retrained successor's holdout accuracy.
+	ChallengerAccuracy float64 `json:"challenger_accuracy"`
+	// Margin is challenger minus champion, judged against the gate margin.
+	Margin float64 `json:"margin"`
+	// HoldoutSize is how many held-out samples the verdict rests on.
+	HoldoutSize int `json:"holdout_size"`
+}
+
 // Snapshot is a point-in-time copy of the serving counters, shaped for
 // JSON (`GET /stats` returns exactly this struct).
 type Snapshot struct {

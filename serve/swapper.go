@@ -65,6 +65,29 @@ func (s *Swapper) Swap(next *disthd.Model) error {
 	return nil
 }
 
+// SwapIfCurrent atomically replaces the served model with next only if old
+// is still the model serving — the conditional form of Swap, for
+// publishing a background upgrade without clobbering a model someone else
+// published concurrently (serve.Learner's full-window refit uses it so an
+// operator /swap that lands mid-refit always wins). It returns whether the
+// swap happened; a lost race is not an error.
+func (s *Swapper) SwapIfCurrent(old, next *disthd.Model) (bool, error) {
+	if next == nil {
+		return false, fmt.Errorf("serve: cannot swap in a nil model")
+	}
+	cur := s.cur.Load()
+	if next.Features() != cur.Features() || next.Dim() != cur.Dim() || next.Classes() != cur.Classes() {
+		return false, fmt.Errorf("%w: serving %d features/%d dims/%d classes, got %d/%d/%d",
+			ErrShapeMismatch,
+			cur.Features(), cur.Dim(), cur.Classes(), next.Features(), next.Dim(), next.Classes())
+	}
+	if !s.cur.CompareAndSwap(old, next) {
+		return false, nil
+	}
+	s.swaps.Add(1)
+	return true, nil
+}
+
 // SwapReader reads a disthd.Model snapshot (the Model.Save format) from r
 // and swaps it in. This is the transport behind the HTTP /swap endpoint.
 func (s *Swapper) SwapReader(r io.Reader) error {
