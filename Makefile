@@ -8,9 +8,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet doc-check build test race bench-smoke fuzz-smoke drift-smoke drift-http-smoke bench bench-kernels bench-serve bench-drift
+.PHONY: ci fmt-check vet doc-check build test race bench-smoke fuzz-smoke drift-smoke drift-http-smoke chaos-smoke bench bench-kernels bench-serve bench-drift bench-cluster
 
-ci: fmt-check vet doc-check build race bench-smoke fuzz-smoke drift-smoke drift-http-smoke
+ci: fmt-check vet doc-check build race bench-smoke fuzz-smoke drift-smoke drift-http-smoke chaos-smoke
 
 # gofmt must be a no-op across the tree.
 fmt-check:
@@ -20,10 +20,10 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-# The public surface (root package and serve) must not export an
-# undocumented identifier.
+# The public surface (root package, serve, and serve/cluster) must not
+# export an undocumented identifier.
 doc-check:
-	$(GO) run ./cmd/doccheck . ./serve
+	$(GO) run ./cmd/doccheck . ./serve ./serve/cluster
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,12 @@ drift-smoke:
 drift-http-smoke:
 	sh scripts/drift_http_smoke.sh
 
+# The fault-tolerance invariant end to end at the process level: two live
+# worker shards behind a disthd-cluster coordinator, one SIGKILLed under
+# load, zero dropped requests required, clean coordinator drain asserted.
+chaos-smoke:
+	sh scripts/chaos_smoke.sh
+
 # The kernel and end-to-end benchmarks behind PERF.md, with allocation
 # reporting and enough repetitions for benchstat.
 bench:
@@ -82,3 +88,11 @@ bench-serve:
 bench-drift:
 	$(GO) run ./cmd/hdbench -driftgen
 	$(GO) run ./cmd/hdbench -driftgen -drift-kinds shift -drift-label-noise 0.35
+
+# The fault-tolerance table of PERF.md: coordinator overhead vs a direct
+# worker call on the happy path, then the in-process chaos run (worker
+# killed at 1/3, worker stalled at 2/3) with its latency distribution.
+bench-cluster:
+	$(GO) test ./serve/cluster -run xxx -bench . -benchtime 2s -count 3
+	$(GO) run ./cmd/hdbench -chaos -dataset PAMAP2 -dim 128 -loadgen-scale 0.05 \
+		-duration 4s -concurrency 3

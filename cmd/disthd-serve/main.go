@@ -25,9 +25,14 @@
 // challenger never serves.
 //
 // Endpoints: POST /predict, POST /predict_batch, GET /healthz, GET /stats,
-// POST /swap, POST /learn, POST /retrain. See the serve package for the
-// wire format, `hdbench -loadgen` for the closed-loop load generator, and
-// `hdbench -driftgen` for the streaming drift benchmark.
+// GET /model, POST /swap, POST /learn, POST /retrain. /healthz tells the
+// truth: it reports "degraded" (503 with -strict-health) while the learner
+// is in post-rejection backoff or a retrain is wedged past -stall-deadline,
+// and GET /model exports the serving model in the /swap wire format — the
+// two hooks a cluster coordinator (cmd/disthd-cluster) builds on. See the
+// serve package for the wire format, `hdbench -loadgen` for the
+// closed-loop load generator, `hdbench -driftgen` for the streaming drift
+// benchmark, and `hdbench -chaos` for the fault-injection load harness.
 package main
 
 import (
@@ -69,6 +74,8 @@ func main() {
 		holdout   = flag.Float64("holdout", 0, "fraction of the feedback window held out for the champion/challenger gate (0 = default 0.20, negative = no holdout)")
 		gateMarg  = flag.Float64("gate-margin", 0, "holdout-accuracy lead a retrained challenger needs to publish (0 = a tie publishes)")
 		noGate    = flag.Bool("no-gate", false, "publish every retrain unconditionally instead of gating champion vs challenger on the holdout")
+		stallDl   = flag.Duration("stall-deadline", 2*time.Minute, "background retrain age past which /healthz reports the learner wedged")
+		strictHlz = flag.Bool("strict-health", false, "answer /healthz with 503 while degraded (learner backoff or wedged retrain) instead of 200 + status")
 	)
 	flag.Parse()
 
@@ -100,6 +107,7 @@ func main() {
 			Iterations:      *retrIters,
 			Auto:            *autoRetr,
 			Cooldown:        *cooldown,
+			StallDeadline:   *stallDl,
 			Seed:            *seed,
 		})
 		if err != nil {
@@ -109,6 +117,7 @@ func main() {
 		log.Printf("online learning on (window=%d drift-threshold=%.2f auto-retrain=%v gate=%v margin=%.3f)",
 			*learnWin, *driftThr, *autoRetr, !*noGate, *gateMarg)
 	}
+	srv.SetStrictHealth(*strictHlz)
 
 	// SIGTERM/SIGINT drain: Server.Close stops Batcher intake and flushes
 	// every accepted micro-batch BEFORE shutting the HTTP listener down, so

@@ -10,6 +10,8 @@
 //	hdbench -exp fig8 -quick          # CI-sized smoke run
 //	hdbench -loadgen -concurrency 1,8,32,64 -duration 2s
 //	hdbench -driftgen -drift-kinds shift,scale -drift-windows 8
+//	hdbench -chaos -duration 6s -concurrency 4
+//	hdbench -chaos -http 127.0.0.1:8090 -duration 5s
 //
 // -loadgen runs the closed-loop serving benchmark: it measures per-request
 // Predict against the micro-batching serve.Batcher at each concurrency
@@ -27,6 +29,15 @@
 // side is a LIVE disthd-serve process driven over /predict_batch + /learn,
 // with /stats scraped at window boundaries and round-trip latency under
 // retrain folded into the table. -quick shrinks it to a CI smoke run.
+//
+// -chaos runs the fault-injection load harness against the serve/cluster
+// coordinator: three real-HTTP workers serve one model, concurrent clients
+// stream batches, one worker is killed at a third of the run and another
+// stalled at two thirds, and the run FAILS (nonzero exit) unless zero
+// requests were dropped; the latency distribution the faults produced
+// (p50/p95/p99) is reported. With -http it instead drives a live
+// disthd-cluster as a pure load generator while a script — see
+// scripts/chaos_smoke.sh — injects the process-level faults.
 //
 // Experiment output is plain text, one table per experiment, in the same
 // layout the paper reports. See EXPERIMENTS.md for the recorded
@@ -59,6 +70,8 @@ func main() {
 		lgDelay = flag.Duration("max-delay", 2*time.Millisecond, "loadgen: batcher MaxDelay")
 		lgScale = flag.Float64("loadgen-scale", 0.2, "loadgen: dataset scale")
 
+		chaos = flag.Bool("chaos", false, "run the fault-injection chaos load harness: spin a coordinator + 3 real-HTTP workers in-process, kill one and stall another mid-load, and fail unless 0 requests were dropped (with -http, drive a live disthd-cluster instead while a script injects the faults)")
+
 		driftgen  = flag.Bool("driftgen", false, "run the closed-loop streaming drift benchmark instead of an experiment")
 		dgKinds   = flag.String("drift-kinds", "shift,scale,noise", "driftgen: comma-separated drift kinds")
 		dgWindows = flag.Int("drift-windows", 8, "driftgen: evaluation windows over the stream")
@@ -75,9 +88,31 @@ func main() {
 		dgNoise   = flag.Float64("drift-label-noise", 0, "driftgen: fraction of feedback labels flipped to a wrong class (bad-teacher scenario the gate must survive)")
 		dgHoldout = flag.Float64("drift-holdout", 0, "driftgen: holdout fraction for the gated run (0 = default 0.20)")
 		dgMargin  = flag.Float64("drift-gate-margin", -0.07, "driftgen: holdout-accuracy lead a challenger needs to publish; the default tolerates one standard error of the ~51-sample holdout estimate (sqrt(0.25/51)), so sampling noise never vetoes a challenger while garbage — which loses by far more — still rejects")
-		dgHTTP    = flag.String("http", "", "driftgen: drive a LIVE disthd-serve at this address (host:port or URL) over /predict_batch + /learn + /stats instead of the in-process stack")
+		dgHTTP    = flag.String("http", "", "driftgen/chaos: drive a LIVE server at this address (host:port or URL) instead of the in-process stack — a disthd-serve for -driftgen, a disthd-cluster coordinator for -chaos")
 	)
 	flag.Parse()
+
+	if *chaos {
+		conc, err := parseConcurrency(*lgConc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hdbench: %v\n", err)
+			os.Exit(2)
+		}
+		o := chaosOptions{
+			dataset:     *lgData,
+			dim:         *lgDim,
+			scale:       *lgScale,
+			seed:        *seed,
+			concurrency: conc[0],
+			duration:    *lgDur,
+			httpTarget:  *dgHTTP,
+		}
+		if err := runChaos(o, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "hdbench: chaos: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *driftgen {
 		kinds, err := parseDriftKinds(*dgKinds)

@@ -46,6 +46,16 @@
 // gated, in-process or against a live server with -http) with
 // `hdbench -driftgen`.
 //
+// Fault-tolerant sharded serving lives in serve/cluster: a Coordinator
+// fans batches out across worker shards behind per-worker circuit
+// breakers with retries, backoff, hedging, and active health probes,
+// degrades onto a locally held fallback model below quorum, and closes
+// the learning loop by pulling shard models over GET /model, averaging
+// them (AverageModels), and gating the merged candidate before
+// republication — run it with cmd/disthd-cluster and prove the
+// zero-dropped-requests invariant under kill/stall faults with
+// `hdbench -chaos`.
+//
 // The research internals — the baselines (NeuralHD, baselineHD, MLP, SVM),
 // the experiment harness that regenerates every table and figure of the
 // paper, and the substrates they share — live under internal/ and are

@@ -46,23 +46,8 @@ func MergeModels(models ...*Model) (*Model, error) {
 	}
 	first := models[0]
 	for i, m := range models[1:] {
-		switch {
-		case m.Features() != first.Features():
-			return nil, fmt.Errorf("disthd: cannot merge: model %d has %d features, model 0 has %d "+
-				"(shards must share one input schema)", i+1, m.Features(), first.Features())
-		case m.Dim() != first.Dim():
-			return nil, fmt.Errorf("disthd: cannot merge: model %d has dim %d, model 0 has %d "+
-				"(class hypervectors are summed coordinate-wise)", i+1, m.Dim(), first.Dim())
-		case m.Classes() != first.Classes():
-			return nil, fmt.Errorf("disthd: cannot merge: model %d separates %d classes, model 0 separates %d "+
-				"(train every shard with the global class count, even if some labels are absent from its shard)",
-				i+1, m.Classes(), first.Classes())
-		case m.kind != first.kind:
-			return nil, fmt.Errorf("disthd: cannot merge: model %d uses a different encoder family", i+1)
-		}
-		if !sameEncoder(first, m) {
-			return nil, fmt.Errorf("disthd: cannot merge: model %d was trained with a different encoder "+
-				"(merging requires a shared seed and RegenRate = 0)", i+1)
+		if err := mergeCompat(first, m); err != nil {
+			return nil, fmt.Errorf("disthd: cannot merge: model %d %v", i+1, err)
 		}
 	}
 
@@ -80,6 +65,67 @@ func MergeModels(models ...*Model) (*Model, error) {
 		kind: first.kind,
 		Info: TrainInfo{EffectiveDim: first.Dim()},
 	}, nil
+}
+
+// mergeCompat checks one model against the merge contract's reference
+// model, returning a descriptive violation (phrased relative to the
+// reference, "model 0" in MergeModels terms) or nil.
+func mergeCompat(ref, m *Model) error {
+	switch {
+	case m.Features() != ref.Features():
+		return fmt.Errorf("has %d features, model 0 has %d "+
+			"(shards must share one input schema)", m.Features(), ref.Features())
+	case m.Dim() != ref.Dim():
+		return fmt.Errorf("has dim %d, model 0 has %d "+
+			"(class hypervectors are summed coordinate-wise)", m.Dim(), ref.Dim())
+	case m.Classes() != ref.Classes():
+		return fmt.Errorf("separates %d classes, model 0 separates %d "+
+			"(train every shard with the global class count, even if some labels are absent from its shard)",
+			m.Classes(), ref.Classes())
+	case m.kind != ref.kind:
+		return fmt.Errorf("uses a different encoder family")
+	}
+	if !sameEncoder(ref, m) {
+		return fmt.Errorf("was trained with a different encoder " +
+			"(merging requires a shared seed and RegenRate = 0)")
+	}
+	return nil
+}
+
+// MergeableWith reports whether o satisfies the MergeModels contract
+// against m (shape, class count, and bitwise-identical encoder), with a
+// descriptive error naming the violation. The federated merge loop uses
+// it to pre-check a freshly fetched shard model and skip an incompatible
+// shard instead of failing the whole merge round.
+func (m *Model) MergeableWith(o *Model) error {
+	if m == nil || o == nil {
+		return fmt.Errorf("disthd: cannot merge a nil model")
+	}
+	if err := mergeCompat(m, o); err != nil {
+		return fmt.Errorf("disthd: not mergeable: model %v", err)
+	}
+	return nil
+}
+
+// AverageModels merges like MergeModels and then rescales the bundled
+// class hypervectors by 1/len(models). Cosine scoring makes the two
+// merges predict identically on any input; the difference is numeric
+// headroom — a merge LOOP (the serve/cluster coordinator re-merges and
+// republishes on an interval, so each round's output feeds the next
+// round's inputs) would grow MergeModels weights by a factor of N per
+// round without bound, while the averaged form stays at the scale of one
+// shard's weights forever.
+func AverageModels(models ...*Model) (*Model, error) {
+	merged, err := MergeModels(models...)
+	if err != nil {
+		return nil, err
+	}
+	inv := 1 / float64(len(models))
+	for i := range merged.clf.Model.Weights.Data {
+		merged.clf.Model.Weights.Data[i] *= inv
+	}
+	merged.clf.Model.RefreshNorms()
+	return merged, nil
 }
 
 // sameEncoder probes both encoders with a deterministic input and compares

@@ -1,0 +1,528 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	disthd "repro"
+)
+
+// TestClusterChaosWorkerDiesMidStream is the package's headline E2E: three
+// workers serve identical models, concurrent clients stream batches, and
+// one worker is hard-partitioned mid-stream. Every request must still be
+// answered, every answer must bitwise-match the model, the dead worker's
+// breaker must open, and the Dropped counter must end at zero.
+func TestClusterChaosWorkerDiesMidStream(t *testing.T) {
+	f := fixtures(t)
+	m := f.shards[0]
+	w0, w1, w2 := sim(m), sim(m), sim(m)
+	c, _ := newTestCoordinator(t, map[string]*simWorker{"w0": w0, "w1": w1, "w2": w2}, func(cfg *Config) {
+		cfg.Workers = []string{"w0", "w1", "w2"}
+		cfg.Quorum = 2
+		cfg.Fallback = m
+		cfg.Breaker = BreakerConfig{FailureThreshold: 2, OpenFor: time.Hour}
+	})
+
+	const (
+		clients      = 3
+		batchesPer   = 30
+		rowsPerBatch = 6
+		killAtBatch  = 10 // client 0 partitions w0 after this many of its batches
+	)
+	var kill sync.Once
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			for b := 0; b < batchesPer; b++ {
+				if cl == 0 && b == killAtBatch {
+					kill.Do(func() {
+						w0.mu.Lock()
+						w0.dead = true
+						w0.mu.Unlock()
+					})
+				}
+				rows := make([][]float64, rowsPerBatch)
+				for i := range rows {
+					rows[i] = f.test.X[(cl*batchesPer*rowsPerBatch+b*rowsPerBatch+i)%len(f.test.X)]
+				}
+				got, err := c.PredictBatch(context.Background(), rows)
+				if err != nil {
+					errs[cl] = err
+					return
+				}
+				want, err := m.PredictBatch(rows)
+				if err != nil {
+					errs[cl] = err
+					return
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Errorf("client %d batch %d row %d: class %d, want %d", cl, b, i, got[i], want[i])
+						return
+					}
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+	for cl, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", cl, err)
+		}
+	}
+	snap := c.Stats()
+	if snap.Dropped != 0 {
+		t.Fatalf("dropped %d rows; the invariant is 0 (stats: %+v)", snap.Dropped, snap)
+	}
+	if want := uint64(clients * batchesPer * rowsPerBatch); snap.Rows != want {
+		t.Fatalf("rows %d, want %d", snap.Rows, want)
+	}
+	var w0snap WorkerSnapshot
+	for _, ws := range snap.Workers {
+		if ws.Addr == "w0" {
+			w0snap = ws
+		}
+	}
+	if w0snap.Breaker != "open" {
+		t.Fatalf("dead worker w0 breaker %q, want open (failures %d)", w0snap.Breaker, w0snap.Failures)
+	}
+	if snap.Available != 2 || !snap.QuorumOK {
+		t.Fatalf("available %d quorum_ok %v, want 2 survivors meeting quorum", snap.Available, snap.QuorumOK)
+	}
+}
+
+// TestClusterBelowQuorumServesFallback loses two of three workers: once
+// their breakers open the cluster is below quorum and every batch must be
+// answered by the local fallback model, never dropped.
+func TestClusterBelowQuorumServesFallback(t *testing.T) {
+	f := fixtures(t)
+	m := f.shards[0]
+	w0, w1, w2 := sim(m), sim(m), sim(m)
+	w1.dead, w2.dead = true, true
+	c, _ := newTestCoordinator(t, map[string]*simWorker{"w0": w0, "w1": w1, "w2": w2}, func(cfg *Config) {
+		cfg.Workers = []string{"w0", "w1", "w2"}
+		cfg.Quorum = 2
+		cfg.Fallback = m
+		cfg.Breaker = BreakerConfig{FailureThreshold: 1, OpenFor: time.Hour}
+	})
+
+	rows := f.test.X[:8]
+	want, err := m.PredictBatch(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Batches keep being answered while the dead workers burn through
+	// their (threshold-1) failure budget and after the quorum is lost.
+	for i := 0; i < 6; i++ {
+		got, err := c.PredictBatch(context.Background(), rows)
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("batch %d row %d: class %d, want %d", i, j, got[j], want[j])
+			}
+		}
+	}
+	snap := c.Stats()
+	if snap.Dropped != 0 {
+		t.Fatalf("dropped %d rows, want 0", snap.Dropped)
+	}
+	if snap.QuorumMisses == 0 {
+		t.Fatal("expected below-quorum batches to be counted")
+	}
+	if snap.FallbackRows == 0 {
+		t.Fatal("expected fallback-served rows")
+	}
+	if snap.QuorumOK {
+		t.Fatalf("quorum_ok true with %d of 3 workers available", snap.Available)
+	}
+}
+
+// TestClusterNoFallbackCountsDrops is the negative control: with no
+// fallback model and no reachable worker, the batch errors and its rows
+// are counted as dropped.
+func TestClusterNoFallbackCountsDrops(t *testing.T) {
+	f := fixtures(t)
+	w0 := sim(f.shards[0])
+	w0.dead = true
+	c, _ := newTestCoordinator(t, map[string]*simWorker{"w0": w0}, func(cfg *Config) {
+		cfg.Workers = []string{"w0"}
+		cfg.Breaker = BreakerConfig{FailureThreshold: 1, OpenFor: time.Hour}
+	})
+	if _, err := c.PredictBatch(context.Background(), f.test.X[:4]); err == nil {
+		t.Fatal("expected an error with no fallback and a dead worker")
+	}
+	if got := c.Stats().Dropped; got != 4 {
+		t.Fatalf("dropped %d rows, want 4", got)
+	}
+}
+
+// TestClusterPermanentErrorShortCircuits pins the 4xx contract: a
+// PermanentError is returned to the caller immediately — no retries, no
+// fallback, no breaker penalty, no drop accounting.
+func TestClusterPermanentErrorShortCircuits(t *testing.T) {
+	f := fixtures(t)
+	w0 := sim(f.shards[0])
+	w0.badInput = true
+	c, _ := newTestCoordinator(t, map[string]*simWorker{"w0": w0}, func(cfg *Config) {
+		cfg.Workers = []string{"w0"}
+		cfg.Fallback = f.shards[0]
+	})
+	_, err := c.PredictBatch(context.Background(), f.test.X[:2])
+	var pe *PermanentError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want a PermanentError", err)
+	}
+	snap := c.Stats()
+	if snap.Retries != 0 {
+		t.Fatalf("retries %d, want 0 — 4xx must not burn retries", snap.Retries)
+	}
+	if snap.Dropped != 0 || snap.FallbackRows != 0 {
+		t.Fatalf("dropped %d fallback %d, want 0/0 — a 4xx is the caller's fault", snap.Dropped, snap.FallbackRows)
+	}
+	if st := snap.Workers[0].Breaker; st != "closed" {
+		t.Fatalf("breaker %q after 4xx, want closed — the worker behaved", st)
+	}
+}
+
+// TestClusterRetryRotatesToSurvivor sends one chunk at a worker whose next
+// calls 5xx; the retry must land on the healthy worker and succeed.
+func TestClusterRetryRotatesToSurvivor(t *testing.T) {
+	f := fixtures(t)
+	m := f.shards[0]
+	w0, w1 := sim(m), sim(m)
+	w0.failNext = 10
+	c, _ := newTestCoordinator(t, map[string]*simWorker{"w0": w0, "w1": w1}, func(cfg *Config) {
+		cfg.Workers = []string{"w0", "w1"}
+		cfg.Quorum = 1
+	})
+	x := f.test.X[0]
+	got, err := c.Predict(context.Background(), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("class %d, want %d", got, want)
+	}
+	snap := c.Stats()
+	if snap.Retries == 0 {
+		t.Fatal("expected at least one retry")
+	}
+	if snap.FallbackRows != 0 {
+		t.Fatalf("fallback served %d rows; the retry should have answered remotely", snap.FallbackRows)
+	}
+}
+
+// TestClusterHedgeWins stalls the primary worker; the hedged duplicate on
+// the survivor must answer, the stalled loser must be canceled, and its
+// breaker must stay closed (an abandoned call is nobody's fault).
+func TestClusterHedgeWins(t *testing.T) {
+	f := fixtures(t)
+	m := f.shards[0]
+	w0, w1 := sim(m), sim(m)
+	w0.stalled = true
+	c, _ := newTestCoordinator(t, map[string]*simWorker{"w0": w0, "w1": w1}, func(cfg *Config) {
+		cfg.Workers = []string{"w0", "w1"}
+		cfg.Quorum = 1
+		cfg.Retry = RetryConfig{MaxAttempts: 2, BaseBackoff: time.Microsecond, MaxBackoff: time.Microsecond, HedgeAfter: 2 * time.Millisecond}
+	})
+	x := f.test.X[1]
+	got, err := c.Predict(context.Background(), x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("class %d, want %d", got, want)
+	}
+	snap := c.Stats()
+	if snap.Hedges == 0 || snap.HedgeWins == 0 {
+		t.Fatalf("hedges %d wins %d, want both > 0", snap.Hedges, snap.HedgeWins)
+	}
+	// The loser was canceled, not failed: give the reaper a moment to
+	// settle the claim, then check the stalled worker kept a clean slate.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		w0.mu.Lock()
+		canceled := w0.canceled
+		w0.mu.Unlock()
+		if canceled > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for _, ws := range c.Stats().Workers {
+		if ws.Addr == "w0" && (ws.Failures != 0 || ws.Breaker != "closed") {
+			t.Fatalf("stalled hedge loser: failures %d breaker %q, want 0/closed", ws.Failures, ws.Breaker)
+		}
+	}
+}
+
+// TestProbeDrivesBreakerLifecycle exercises the active-probe path on an
+// injected clock: probe failures open a dead worker's breaker without any
+// request traffic, and after revival a single probe performs the half-open
+// trial and closes it again.
+func TestProbeDrivesBreakerLifecycle(t *testing.T) {
+	f := fixtures(t)
+	w0 := sim(f.shards[0])
+	w0.dead = true
+	c, _ := newTestCoordinator(t, map[string]*simWorker{"w0": w0}, func(cfg *Config) {
+		cfg.Workers = []string{"w0"}
+		cfg.Breaker = BreakerConfig{FailureThreshold: 2, OpenFor: time.Minute}
+	})
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c.now = clk.now // no loops are running; safe to swap the clock
+
+	w := c.workers[0]
+	c.probe(w)
+	c.probe(w)
+	if st := w.br.State(); st != BreakerOpen {
+		t.Fatalf("after %d probe failures: breaker %v, want open", 2, st)
+	}
+	if w.healthy.Load() {
+		t.Fatal("worker still marked healthy after failed probes")
+	}
+	// Cooling down: the probe must not even touch the worker.
+	before := w0.probes
+	c.probe(w)
+	if w0.probes != before {
+		t.Fatal("probe reached a worker whose breaker is cooling down")
+	}
+	// Revive the worker and expire the cooldown: one probe is the
+	// half-open trial and closes the breaker.
+	w0.mu.Lock()
+	w0.dead = false
+	w0.degraded = true
+	w0.mu.Unlock()
+	clk.advance(time.Minute)
+	c.probe(w)
+	if st := w.br.State(); st != BreakerClosed {
+		t.Fatalf("after recovery probe: breaker %v, want closed", st)
+	}
+	if !w.healthy.Load() || !w.degraded.Load() {
+		t.Fatalf("healthy %v degraded %v, want true/true (self-reported degraded)", w.healthy.Load(), w.degraded.Load())
+	}
+}
+
+// TestCandidatesDeprioritizeDegraded pins the routing order: a worker
+// that self-reports degraded health stays eligible but sorts last.
+func TestCandidatesDeprioritizeDegraded(t *testing.T) {
+	f := fixtures(t)
+	w0, w1 := sim(f.shards[0]), sim(f.shards[0])
+	c, _ := newTestCoordinator(t, map[string]*simWorker{"w0": w0, "w1": w1}, func(cfg *Config) {
+		cfg.Workers = []string{"w0", "w1"}
+	})
+	c.workers[0].degraded.Store(true)
+	cands := c.candidates()
+	if len(cands) != 2 || cands[0].addr != "w1" || cands[1].addr != "w0" {
+		order := make([]string, len(cands))
+		for i, w := range cands {
+			order[i] = w.addr
+		}
+		t.Fatalf("candidate order %v, want [w1 w0] (degraded last)", order)
+	}
+}
+
+// TestMergeNowPublishesAverage merges three disjoint-shard models with no
+// incumbent: the round must publish, and the adopted fallback must predict
+// exactly like disthd.AverageModels over the same shards.
+func TestMergeNowPublishesAverage(t *testing.T) {
+	f := fixtures(t)
+	c, _ := newTestCoordinator(t, map[string]*simWorker{
+		"w0": sim(f.shards[0]), "w1": sim(f.shards[1]), "w2": sim(f.shards[2]),
+	}, func(cfg *Config) {
+		cfg.Workers = []string{"w0", "w1", "w2"}
+	})
+	rep, err := c.MergeNow(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Published || len(rep.Workers) != 3 || len(rep.Skipped) != 0 {
+		t.Fatalf("report %+v, want 3 workers merged and published", rep)
+	}
+	fb := c.Fallback()
+	if fb == nil {
+		t.Fatal("no fallback adopted after a published merge")
+	}
+	want, err := disthd.AverageModels(f.shards[0], f.shards[1], f.shards[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCls, err := want.PredictBatch(f.test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCls, err := fb.PredictBatch(f.test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantCls {
+		if gotCls[i] != wantCls[i] {
+			t.Fatalf("row %d: merged fallback predicts %d, AverageModels predicts %d", i, gotCls[i], wantCls[i])
+		}
+	}
+	if snap := c.Stats(); snap.MergePublished != 1 || snap.LastMergeUnix == 0 {
+		t.Fatalf("merge counters %+v, want one published round", snap)
+	}
+}
+
+// TestMergeNowGateRejects gives the gate an impossible margin: the merged
+// candidate must be evaluated and rejected, and the incumbent fallback
+// must keep serving untouched.
+func TestMergeNowGateRejects(t *testing.T) {
+	f := fixtures(t)
+	incumbent := f.shards[0]
+	c, _ := newTestCoordinator(t, map[string]*simWorker{
+		"w0": sim(f.shards[0]), "w1": sim(f.shards[1]),
+	}, func(cfg *Config) {
+		cfg.Workers = []string{"w0", "w1"}
+		cfg.Fallback = incumbent
+		cfg.Merge = MergeConfig{HoldX: f.test.X, HoldY: f.test.Y, GateMargin: 1.1}
+	})
+	rep, err := c.MergeNow(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Published {
+		t.Fatal("gate with margin 1.1 published a candidate")
+	}
+	if rep.Verdict == nil || rep.Verdict.Publish {
+		t.Fatalf("verdict %+v, want an explicit rejection", rep.Verdict)
+	}
+	if c.Fallback() != incumbent {
+		t.Fatal("rejected merge replaced the incumbent fallback")
+	}
+	if snap := c.Stats(); snap.MergeRejected != 1 || snap.MergePublished != 0 {
+		t.Fatalf("counters rejected=%d published=%d, want 1/0", snap.MergeRejected, snap.MergePublished)
+	}
+}
+
+// TestMergeNowSkipsIncompatibleShard puts one worker on a different
+// encoder seed: the round must skip it with the merge-contract violation
+// and still merge (and publish) the compatible shards.
+func TestMergeNowSkipsIncompatibleShard(t *testing.T) {
+	f := fixtures(t)
+	c, _ := newTestCoordinator(t, map[string]*simWorker{
+		"w0": sim(f.shards[0]), "w1": sim(f.shards[1]), "w2": sim(f.alien),
+	}, func(cfg *Config) {
+		cfg.Workers = []string{"w0", "w1", "w2"}
+		cfg.Fallback = f.shards[0]
+	})
+	rep, err := c.MergeNow(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Workers) != 2 {
+		t.Fatalf("merged %v, want the two compatible shards", rep.Workers)
+	}
+	if len(rep.Skipped) != 1 || !strings.Contains(rep.Skipped[0], "w2") {
+		t.Fatalf("skipped %v, want w2 with a merge-contract violation", rep.Skipped)
+	}
+	if !rep.Published {
+		t.Fatal("compatible shards should still have merged and published (empty holdout)")
+	}
+}
+
+// TestMergeNowRepublishes closes the federated loop: a published merge
+// with Republish must be pushed back to every available worker, and the
+// workers must then serve it.
+func TestMergeNowRepublishes(t *testing.T) {
+	f := fixtures(t)
+	w0, w1 := sim(f.shards[0]), sim(f.shards[1])
+	c, _ := newTestCoordinator(t, map[string]*simWorker{"w0": w0, "w1": w1}, func(cfg *Config) {
+		cfg.Workers = []string{"w0", "w1"}
+		cfg.Merge = MergeConfig{Republish: true}
+	})
+	rep, err := c.MergeNow(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Published || rep.Republished != 2 {
+		t.Fatalf("report %+v, want a publish pushed to both workers", rep)
+	}
+	merged := c.Fallback()
+	for name, w := range map[string]*simWorker{"w0": w0, "w1": w1} {
+		w.mu.Lock()
+		m, swaps := w.model, w.swaps
+		w.mu.Unlock()
+		if m != merged || swaps != 1 {
+			t.Fatalf("%s: model replaced=%v swaps=%d, want the merged model after one swap", name, m == merged, swaps)
+		}
+	}
+}
+
+// TestMergeNowErrorsWhenNothingFetches pins the all-shards-unreachable
+// case: the round errors instead of publishing garbage.
+func TestMergeNowErrorsWhenNothingFetches(t *testing.T) {
+	f := fixtures(t)
+	w0 := sim(f.shards[0])
+	w0.dead = true
+	c, _ := newTestCoordinator(t, map[string]*simWorker{"w0": w0}, func(cfg *Config) {
+		cfg.Workers = []string{"w0"}
+	})
+	if _, err := c.MergeNow(context.Background()); err == nil {
+		t.Fatal("expected an error when no shard delivers a model")
+	}
+	if snap := c.Stats(); snap.MergeErrors != 1 {
+		t.Fatalf("merge errors %d, want 1", snap.MergeErrors)
+	}
+}
+
+// TestClusterClosedAndInputValidation covers the remaining error paths:
+// ErrClosed after Close (idempotent), malformed rows, and the empty batch.
+func TestClusterClosedAndInputValidation(t *testing.T) {
+	f := fixtures(t)
+	c, _ := newTestCoordinator(t, map[string]*simWorker{"w0": sim(f.shards[0])}, func(cfg *Config) {
+		cfg.Workers = []string{"w0"}
+		cfg.Fallback = f.shards[0]
+	})
+	if _, err := c.PredictBatch(context.Background(), [][]float64{{1, 2}}); err == nil {
+		t.Fatal("expected a feature-width error")
+	}
+	if out, err := c.PredictBatch(context.Background(), nil); err != nil || out != nil {
+		t.Fatalf("empty batch: (%v, %v), want (nil, nil)", out, err)
+	}
+	c.Close()
+	c.Close() // idempotent
+	if _, err := c.PredictBatch(context.Background(), f.test.X[:1]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if snap := c.Stats(); snap.Dropped != 0 {
+		t.Fatalf("input errors counted as drops: %d", snap.Dropped)
+	}
+}
+
+// TestConfigValidation pins Config.withDefaults rejections and defaults.
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("expected an error for a worker-less config")
+	}
+	if _, err := New(Config{Workers: []string{"a", "b"}, Quorum: 3, Transport: newFaultTransport(1, nil)}); err == nil {
+		t.Fatal("expected an error for quorum > workers")
+	}
+	cfg, err := Config{Workers: []string{"a", "b", "c"}, Transport: newFaultTransport(1, nil)}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Quorum != 2 {
+		t.Fatalf("default quorum %d for 3 workers, want majority 2", cfg.Quorum)
+	}
+	if cfg.CallTimeout != time.Second {
+		t.Fatalf("default call timeout %v, want 1s", cfg.CallTimeout)
+	}
+}

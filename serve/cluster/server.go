@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Server exposes a Coordinator over the same HTTP/JSON wire format as a
+// single serve.Server, so clients, load balancers, and hdbench cannot
+// tell a coordinator from a worker:
+//
+//	POST /predict        {"x":[...]}            -> {"class":3}
+//	POST /predict_batch  {"x":[[...],[...]]}    -> {"classes":[3,1]}
+//	GET  /healthz                               -> cluster + per-worker health
+//	GET  /stats                                 -> cluster.Snapshot JSON
+//	POST /merge                                 -> MergeReport JSON (one merge round now)
+//
+// /healthz reports "ok" while the available workers meet the quorum and
+// "degraded" while serving from the fallback model; SetStrictHealth makes
+// degraded answer 503 so upstream load balancers can act on it. The
+// server is hardened from birth: header/read/idle timeouts and bounded
+// request bodies (413 on overflow).
+type Server struct {
+	c            *Coordinator
+	mux          *http.ServeMux
+	hs           *http.Server
+	strictHealth bool
+}
+
+// serverBodyLimit bounds /predict and /predict_batch request bodies.
+const serverBodyLimit = 8 << 20
+
+// NewServer wraps c. The caller keeps ownership of the Coordinator's
+// lifecycle only if it never calls Server.Close (which closes both).
+func NewServer(c *Coordinator) *Server {
+	s := &Server{c: c, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /predict", s.handlePredict)
+	s.mux.HandleFunc("POST /predict_batch", s.handlePredictBatch)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("POST /merge", s.handleMerge)
+	s.hs = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	return s
+}
+
+// Coordinator returns the wrapped coordinator (for stats or direct
+// calls).
+func (s *Server) Coordinator() *Coordinator { return s.c }
+
+// SetStrictHealth makes /healthz answer 503 while the cluster is
+// degraded (below quorum, serving from the fallback). Set it before
+// serving traffic.
+func (s *Server) SetStrictHealth(on bool) { s.strictHealth = on }
+
+// Handler returns the route table, mountable under any mux.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe serves on addr until Close or a listener error,
+// blocking like http.Server.ListenAndServe.
+func (s *Server) ListenAndServe(addr string) error {
+	s.hs.Addr = addr
+	return s.hs.ListenAndServe()
+}
+
+// Close shuts the HTTP listener down, waits for in-flight requests, and
+// then closes the Coordinator (stopping its probe and merge loops).
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	err := s.hs.Shutdown(ctx)
+	cancel()
+	s.c.Close()
+	return err
+}
+
+// writeJSON emits v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError emits a {"error": ...} body.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// readJSON decodes a body bounded by serverBodyLimit, mapping overflow
+// to 413 and malformed JSON to 400; a zero status means success.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) (int, error) {
+	r.Body = http.MaxBytesReader(w, r.Body, serverBodyLimit)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return http.StatusRequestEntityTooLarge, fmt.Errorf("request body exceeds %d bytes", mbe.Limit)
+		}
+		return http.StatusBadRequest, fmt.Errorf("decode body: %w", err)
+	}
+	return 0, nil
+}
+
+// statusFor maps a coordinator error to its HTTP status: client-caused
+// failures are 4xx, a closed coordinator or an unanswerable batch is 503.
+func statusFor(err error) int {
+	var pe *PermanentError
+	switch {
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.As(err, &pe):
+		return http.StatusBadRequest
+	}
+	return http.StatusServiceUnavailable
+}
+
+// handlePredict serves one prediction through the cluster.
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		X []float64 `json:"x"`
+	}
+	if status, err := readJSON(w, r, &req); status != 0 {
+		writeError(w, status, err)
+		return
+	}
+	class, err := s.c.Predict(r.Context(), req.X)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"class": class})
+}
+
+// handlePredictBatch serves a caller-provided batch through the cluster.
+func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		X [][]float64 `json:"x"`
+	}
+	if status, err := readJSON(w, r, &req); status != 0 {
+		writeError(w, status, err)
+		return
+	}
+	classes, err := s.c.PredictBatch(r.Context(), req.X)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	if classes == nil {
+		classes = []int{}
+	}
+	writeJSON(w, http.StatusOK, map[string][]int{"classes": classes})
+}
+
+// handleHealthz reports cluster liveness: "ok" at or above quorum,
+// "degraded" below it (503 in strict mode), with per-worker breaker
+// states so an operator sees which shard is out.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.c.Stats()
+	status := "ok"
+	if !snap.QuorumOK {
+		status = "degraded"
+	}
+	code := http.StatusOK
+	if status != "ok" && s.strictHealth {
+		code = http.StatusServiceUnavailable
+	}
+	workers := make([]map[string]any, 0, len(snap.Workers))
+	for _, ws := range snap.Workers {
+		workers = append(workers, map[string]any{
+			"addr": ws.Addr, "breaker": ws.Breaker,
+			"available": ws.Available, "degraded": ws.Degraded,
+		})
+	}
+	writeJSON(w, code, map[string]any{
+		"status":    status,
+		"available": snap.Available,
+		"quorum":    snap.Quorum,
+		"fallback":  snap.HasFallback,
+		"workers":   workers,
+	})
+}
+
+// handleStats reports the coordinator counters.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.c.Stats())
+}
+
+// handleMerge triggers one federated merge round and reports it — the
+// operator's lever for refreshing the fallback without waiting for the
+// merge interval.
+func (s *Server) handleMerge(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.c.MergeNow(r.Context())
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}

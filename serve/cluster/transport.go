@@ -1,0 +1,198 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	disthd "repro"
+)
+
+// Transport is how the Coordinator talks to one worker shard. The worker
+// argument is the address the Coordinator was configured with; every call
+// must honor ctx cancellation, because the retry, hedge, and deadline
+// machinery all cancel through it. HTTPTransport is the production
+// implementation (each worker a stock disthd-serve); the tests substitute
+// a deterministic in-memory fault-injecting transport.
+type Transport interface {
+	// PredictBatch classifies rows on the worker and returns one class
+	// per row.
+	PredictBatch(ctx context.Context, worker string, rows [][]float64) ([]int, error)
+	// Health probes the worker's /healthz and returns its self-reported
+	// status ("ok" or "degraded"); a non-nil error means the worker did
+	// not answer healthily at all.
+	Health(ctx context.Context, worker string) (HealthStatus, error)
+	// FetchModel pulls the worker's serving model snapshot (GET /model) —
+	// what the federated merge loop aggregates.
+	FetchModel(ctx context.Context, worker string) (*disthd.Model, error)
+	// PushModel publishes m to the worker (POST /swap) — how a gated
+	// merged model is republished to the shards.
+	PushModel(ctx context.Context, worker string, m *disthd.Model) error
+}
+
+// HealthStatus is a worker's self-reported health, as surfaced by the
+// truthful /healthz endpoint: Status "degraded" means the worker is
+// serving but impaired (e.g. its learner is in post-rejection backoff or a
+// retrain is wedged), so the coordinator deprioritizes it without opening
+// its breaker.
+type HealthStatus struct {
+	// Status is "ok" or "degraded".
+	Status string `json:"status"`
+	// Swaps is the worker's model-swap counter, useful for checking that
+	// a republished merge actually landed.
+	Swaps uint64 `json:"swaps"`
+}
+
+// PermanentError wraps a failure that retrying on another worker cannot
+// fix — a 4xx from the worker, i.e. the caller's own input was bad. The
+// coordinator returns it immediately instead of burning retries, and it
+// never counts against a worker's circuit breaker.
+type PermanentError struct {
+	// Err is the underlying failure.
+	Err error
+}
+
+// Error implements error.
+func (e *PermanentError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the wrapped failure to errors.Is / errors.As.
+func (e *PermanentError) Unwrap() error { return e.Err }
+
+// HTTPTransport talks to workers over the serve.Server HTTP/JSON wire
+// format: POST /predict_batch, GET /healthz, GET /model, POST /swap. A
+// worker address may be "host:port" or a full http:// URL.
+type HTTPTransport struct {
+	// Client is the underlying HTTP client; NewHTTPTransport installs one
+	// tuned for many small requests to few hosts. Per-call deadlines come
+	// from the context, not Client.Timeout.
+	Client *http.Client
+}
+
+// NewHTTPTransport returns a transport with a connection-pooled client
+// sized for coordinator fan-out (keep-alive connections to every worker,
+// no global timeout — the coordinator propagates deadlines per call).
+func NewHTTPTransport() *HTTPTransport {
+	return &HTTPTransport{Client: &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        64,
+			MaxIdleConnsPerHost: 16,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}}
+}
+
+// url joins a worker address and path into a request URL.
+func (t *HTTPTransport) url(worker, path string) string {
+	if !strings.Contains(worker, "://") {
+		worker = "http://" + worker
+	}
+	return strings.TrimSuffix(worker, "/") + path
+}
+
+// do runs one request and maps worker-side status codes: 2xx passes
+// through, 4xx becomes a PermanentError, and anything else is a retryable
+// failure. The returned body is non-nil only on success.
+func (t *HTTPTransport) do(req *http.Request) (*http.Response, error) {
+	resp, err := t.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return resp, nil
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	resp.Body.Close()
+	err = fmt.Errorf("cluster: worker %s: %s: %s", req.URL.Host, resp.Status, bytes.TrimSpace(body))
+	if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+		return nil, &PermanentError{Err: err}
+	}
+	return nil, err
+}
+
+// PredictBatch implements Transport over POST /predict_batch.
+func (t *HTTPTransport) PredictBatch(ctx context.Context, worker string, rows [][]float64) ([]int, error) {
+	payload, err := json.Marshal(map[string][][]float64{"x": rows})
+	if err != nil {
+		return nil, &PermanentError{Err: err}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.url(worker, "/predict_batch"), bytes.NewReader(payload))
+	if err != nil {
+		return nil, &PermanentError{Err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Classes []int `json:"classes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("cluster: worker %s: decode response: %w", worker, err)
+	}
+	if len(out.Classes) != len(rows) {
+		return nil, fmt.Errorf("cluster: worker %s answered %d classes for %d rows", worker, len(out.Classes), len(rows))
+	}
+	return out.Classes, nil
+}
+
+// Health implements Transport over GET /healthz.
+func (t *HTTPTransport) Health(ctx context.Context, worker string) (HealthStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.url(worker, "/healthz"), nil)
+	if err != nil {
+		return HealthStatus{}, err
+	}
+	resp, err := t.do(req)
+	if err != nil {
+		return HealthStatus{}, err
+	}
+	defer resp.Body.Close()
+	var hs HealthStatus
+	if err := json.NewDecoder(resp.Body).Decode(&hs); err != nil {
+		return HealthStatus{}, fmt.Errorf("cluster: worker %s: decode healthz: %w", worker, err)
+	}
+	return hs, nil
+}
+
+// FetchModel implements Transport over GET /model.
+func (t *HTTPTransport) FetchModel(ctx context.Context, worker string) (*disthd.Model, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.url(worker, "/model"), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := t.do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	m, err := disthd.Load(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: worker %s: %w", worker, err)
+	}
+	return m, nil
+}
+
+// PushModel implements Transport over POST /swap.
+func (t *HTTPTransport) PushModel(ctx context.Context, worker string, m *disthd.Model) error {
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		return &PermanentError{Err: err}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.url(worker, "/swap"), &buf)
+	if err != nil {
+		return &PermanentError{Err: err}
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := t.do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}

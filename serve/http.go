@@ -1,22 +1,38 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	disthd "repro"
+)
+
+// Server hardening bounds: a slow or oversized client must never pin a
+// handler. The timeouts go on the http.Server; the body limits wrap every
+// POST body in an http.MaxBytesReader (413 on overflow). Model snapshots
+// (/swap) are orders of magnitude larger than JSON requests, so they get
+// their own bound.
+const (
+	readHeaderTimeout = 5 * time.Second
+	readTimeout       = 60 * time.Second
+	idleTimeout       = 120 * time.Second
+	maxJSONBody       = 8 << 20
+	maxModelBody      = 256 << 20
 )
 
 // Server exposes a Batcher over HTTP/JSON:
 //
 //	POST /predict        {"x":[...]}            -> {"class":3}
 //	POST /predict_batch  {"x":[[...],[...]]}    -> {"classes":[3,1]}
-//	GET  /healthz                               -> model shape + status
+//	GET  /healthz                               -> model shape + truthful status
 //	GET  /stats                                 -> serve.Snapshot JSON
+//	GET  /model          -> <Model.Save bytes>  (what /swap accepts)
 //	POST /swap           <Model.Save bytes>     -> {"swaps":2}
 //	POST /learn          {"x":[...],"label":3}  -> serve.FeedResult JSON
 //	POST /retrain[?force=1]                     -> {"started":true,...}
@@ -25,14 +41,20 @@ import (
 // they return 404. A /retrain challenger answers to the champion/challenger
 // gate like any drift-triggered one; ?force=1 publishes it regardless of
 // the verdict. Prediction errors map to 400 (malformed input), 409 (/swap
-// shape mismatch, /retrain already in flight) or 503 (closed batcher).
-// Create one with NewServer, mount Handler on any mux or call
-// ListenAndServe, and Close to drain.
+// shape mismatch, /retrain already in flight), 413 (request body over the
+// documented bound) or 503 (closed batcher). The server is hardened
+// against misbehaving clients: header/read/idle timeouts on the
+// http.Server and an http.MaxBytesReader around every POST body.
+// /healthz reports "degraded" (with reasons; 503 under SetStrictHealth)
+// when the attached learner is impaired, so a cluster coordinator's
+// health probes can act on it. Create one with NewServer, mount Handler
+// on any mux or call ListenAndServe, and Close to drain.
 type Server struct {
-	b       *Batcher
-	learner *Learner
-	mux     *http.ServeMux
-	hs      *http.Server
+	b            *Batcher
+	learner      *Learner
+	mux          *http.ServeMux
+	hs           *http.Server
+	strictHealth bool
 }
 
 // NewServer wraps an existing Batcher. The caller keeps ownership of the
@@ -44,13 +66,22 @@ func NewServer(b *Batcher) *Server {
 	s.mux.HandleFunc("POST /predict_batch", s.handlePredictBatch)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /model", s.handleModel)
 	s.mux.HandleFunc("POST /swap", s.handleSwap)
 	s.mux.HandleFunc("POST /learn", s.handleLearn)
 	s.mux.HandleFunc("POST /retrain", s.handleRetrain)
 	// The http.Server is created here, not in ListenAndServe, so Close
 	// never races the assignment: Shutdown on a never-started server is a
-	// no-op and a subsequent ListenAndServe returns ErrServerClosed.
-	s.hs = &http.Server{Handler: s.mux}
+	// no-op and a subsequent ListenAndServe returns ErrServerClosed. The
+	// timeouts keep a slow client from pinning a handler: headers must
+	// arrive promptly, a whole request must finish reading within
+	// readTimeout, and idle keep-alive connections are reaped.
+	s.hs = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: readHeaderTimeout,
+		ReadTimeout:       readTimeout,
+		IdleTimeout:       idleTimeout,
+	}
 	return s
 }
 
@@ -74,6 +105,12 @@ func (s *Server) AttachLearner(l *Learner) { s.learner = l }
 
 // Learner returns the attached learner, nil when online learning is off.
 func (s *Server) Learner() *Learner { return s.learner }
+
+// SetStrictHealth makes /healthz answer 503 while the server is degraded
+// (see Learner.Health) instead of a 200 with status "degraded" — for load
+// balancers and cluster coordinators that act on status codes alone. Set
+// it before serving traffic.
+func (s *Server) SetStrictHealth(on bool) { s.strictHealth = on }
 
 // Handler returns the route table, mountable under any mux.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -115,6 +152,20 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// readJSON decodes a POST body bounded by limit, mapping an oversized
+// body to 413 and malformed JSON to 400; a zero status means success.
+func readJSON(w http.ResponseWriter, r *http.Request, limit int64, v any) (int, error) {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return http.StatusRequestEntityTooLarge, fmt.Errorf("request body exceeds %d bytes", mbe.Limit)
+		}
+		return http.StatusBadRequest, fmt.Errorf("decode body: %w", err)
+	}
+	return 0, nil
+}
+
 // predictRequest is the /predict body.
 type predictRequest struct {
 	X []float64 `json:"x"`
@@ -123,8 +174,8 @@ type predictRequest struct {
 // handlePredict serves one coalesced prediction.
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	var req predictRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
+	if status, err := readJSON(w, r, maxJSONBody, &req); status != 0 {
+		writeError(w, status, err)
 		return
 	}
 	class, err := s.b.Predict(req.X)
@@ -143,8 +194,8 @@ type predictBatchRequest struct {
 // handlePredictBatch serves a caller-provided batch directly.
 func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 	var req predictBatchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
+	if status, err := readJSON(w, r, maxJSONBody, &req); status != 0 {
+		writeError(w, status, err)
 		return
 	}
 	classes, err := s.b.PredictBatch(req.X)
@@ -158,16 +209,52 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]int{"classes": classes})
 }
 
-// handleHealthz reports liveness plus the served model's shape.
+// handleHealthz reports liveness plus the served model's shape — and
+// tells the truth: when the attached learner is impaired (post-rejection
+// backoff, or a retrain wedged past its stall deadline) the status is
+// "degraded" with the reasons listed, so a cluster coordinator's probes
+// can deprioritize this worker. Plain mode still answers 200 (the worker
+// does serve predictions); SetStrictHealth turns degraded into a 503.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	m := s.b.Model()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
+	status := "ok"
+	var reasons []string
+	if s.learner != nil {
+		if h := s.learner.Health(); h.Degraded {
+			status = "degraded"
+			reasons = h.Reasons
+		}
+	}
+	code := http.StatusOK
+	if status != "ok" && s.strictHealth {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":   status,
+		"reasons":  reasons,
 		"features": m.Features(),
 		"dim":      m.Dim(),
 		"classes":  m.Classes(),
 		"swaps":    s.b.Swapper().Swaps(),
 	})
+}
+
+// handleModel exports the serving model as a Model.Save snapshot — the
+// same versioned binary format /swap accepts, so a cluster coordinator
+// can pull shard models for the federated merge loop (and any exported
+// snapshot can be re-imported bitwise). The snapshot is buffered first so
+// the response carries a Content-Length and a serialization error can
+// still become a clean status (409 for a model whose encoder family has
+// no wire format).
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	if err := s.b.Model().Save(&buf); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	_, _ = w.Write(buf.Bytes())
 }
 
 // handleStats reports the serving counters, with the learner gauges folded
@@ -195,8 +282,8 @@ func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req learnRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decode body: %w", err))
+	if status, err := readJSON(w, r, maxJSONBody, &req); status != 0 {
+		writeError(w, status, err)
 		return
 	}
 	res, err := s.learner.Feed(req.X, req.Label)
@@ -238,13 +325,17 @@ func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
 var errNoLearner = errors.New("serve: online learning is not enabled on this server")
 
 // handleSwap hot-swaps the served model from a Model.Save payload: 409 for
-// a shape mismatch (retrain with matching shape), 400 for a payload that
-// does not decode at all.
+// a shape mismatch (retrain with matching shape), 413 for a payload over
+// the model body bound, 400 for a payload that does not decode at all.
 func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
-	if err := s.b.Swapper().SwapReader(r.Body); err != nil {
+	if err := s.b.Swapper().SwapReader(http.MaxBytesReader(w, r.Body, maxModelBody)); err != nil {
 		status := http.StatusBadRequest
-		if errors.Is(err, ErrShapeMismatch) {
+		var mbe *http.MaxBytesError
+		switch {
+		case errors.Is(err, ErrShapeMismatch):
 			status = http.StatusConflict
+		case errors.As(err, &mbe):
+			status = http.StatusRequestEntityTooLarge
 		}
 		writeError(w, status, err)
 		return

@@ -56,6 +56,11 @@ type LearnerOptions struct {
 	// (default 10s), bounding retrain churn when accuracy stays depressed —
 	// e.g. while drift outpaces what the window can recover.
 	Cooldown time.Duration
+	// StallDeadline is how long a background retrain may run before
+	// Health reports it wedged (default 2m). A wedged retrain holds the
+	// single retrain slot forever, so the learner can no longer adapt —
+	// exactly what a cluster coordinator's health probes need to see.
+	StallDeadline time.Duration
 	// Seed drives the retrain and reservoir streams.
 	Seed uint64
 }
@@ -70,6 +75,9 @@ func (o LearnerOptions) withDefaults() LearnerOptions {
 	}
 	if o.Cooldown == 0 {
 		o.Cooldown = 10 * time.Second
+	}
+	if o.StallDeadline == 0 {
+		o.StallDeadline = 2 * time.Minute
 	}
 	return o
 }
@@ -117,6 +125,7 @@ type Learner struct {
 	ol *disthd.OnlineLearner
 
 	retraining   atomic.Bool
+	retrainStart atomic.Int64 // wall-clock ns the in-flight retrain began, 0 when none
 	feedback     atomic.Uint64
 	drifts       atomic.Uint64
 	attempts     atomic.Uint64
@@ -218,7 +227,7 @@ func (l *Learner) startAutoRetrain() bool {
 	// full RecentWindow of fresh feedback after a rejection (the windowed
 	// accuracy estimate has then completely turned over) before the next
 	// drift-triggered attempt; a manual /retrain is never held back.
-	if at := l.rejectAt.Load(); at > 0 && l.feedback.Load()-(at-1) < uint64(l.opts.RecentWindow) {
+	if l.inRejectionBackoff() {
 		return false
 	}
 	now := time.Now().UnixNano()
@@ -252,13 +261,60 @@ func (l *Learner) startRetrain(force bool) bool {
 	if !l.retraining.CompareAndSwap(false, true) {
 		return false
 	}
+	l.retrainStart.Store(time.Now().UnixNano())
 	l.wg.Add(1)
 	go func() {
 		defer l.wg.Done()
 		defer l.retraining.Store(false)
+		defer l.retrainStart.Store(0)
 		l.runRetrain(force)
 	}()
 	return true
+}
+
+// inRejectionBackoff reports whether the learner is still sitting out the
+// post-rejection backoff: a RecentWindow of fresh feedback must arrive
+// after a rejected challenger before the next auto retrain.
+func (l *Learner) inRejectionBackoff() bool {
+	at := l.rejectAt.Load()
+	return at > 0 && l.feedback.Load()-(at-1) < uint64(l.opts.RecentWindow)
+}
+
+// LearnerHealth is the learner-side health verdict /healthz folds in: the
+// learner is Degraded while it cannot adapt — sitting out the
+// post-rejection backoff, or with a background retrain wedged past
+// StallDeadline (the single retrain slot is then held forever).
+type LearnerHealth struct {
+	// Degraded is the overall verdict: any reason below.
+	Degraded bool `json:"degraded"`
+	// RejectionBackoff is whether a rejected challenger has the auto
+	// retrain sitting out fresh feedback.
+	RejectionBackoff bool `json:"rejection_backoff"`
+	// RetrainWedged is whether the in-flight retrain has exceeded
+	// StallDeadline.
+	RetrainWedged bool `json:"retrain_wedged"`
+	// Reasons names each active degradation for the /healthz payload.
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// Health reports whether the learner is currently impaired. It never
+// blocks on the learner mutex, so a wedged retrain cannot wedge the
+// health probe that is supposed to detect it.
+func (l *Learner) Health() LearnerHealth {
+	var h LearnerHealth
+	if l.inRejectionBackoff() {
+		h.RejectionBackoff = true
+		h.Reasons = append(h.Reasons, "learner in post-rejection backoff")
+	}
+	if start := l.retrainStart.Load(); start > 0 && l.retraining.Load() {
+		if age := time.Since(time.Unix(0, start)); age > l.opts.StallDeadline {
+			h.RetrainWedged = true
+			h.Reasons = append(h.Reasons,
+				fmt.Sprintf("retrain wedged: running %s, stall deadline %s", age.Round(time.Second), l.opts.StallDeadline))
+		}
+	}
+	h.Degraded = h.RejectionBackoff || h.RetrainWedged
+	return h
 }
 
 // runRetrain executes one retrain: snapshot the window split and the
@@ -451,6 +507,15 @@ type LearnerSnapshot struct {
 	ClassAccuracy []ClassAccuracy `json:"class_accuracy,omitempty"`
 	// Retraining is whether a background retrain is in flight.
 	Retraining bool `json:"retraining"`
+	// Degraded mirrors Learner.Health: the learner currently cannot
+	// adapt (same verdict /healthz reports).
+	Degraded bool `json:"degraded"`
+	// RejectionBackoff is whether the auto retrain is sitting out the
+	// post-rejection backoff.
+	RejectionBackoff bool `json:"rejection_backoff"`
+	// RetrainWedged is whether the in-flight retrain exceeded the stall
+	// deadline.
+	RetrainWedged bool `json:"retrain_wedged"`
 	// Retrains counts completed (published) retrains.
 	Retrains uint64 `json:"retrains"`
 	// RetrainErrors counts retrains that failed before publishing.
@@ -505,6 +570,7 @@ func (l *Learner) Snapshot() LearnerSnapshot {
 	if ns := l.lastRetrain.Load(); ns > 0 {
 		lastUnix = ns / 1e9
 	}
+	health := l.Health()
 	return LearnerSnapshot{
 		Feedback:         l.feedback.Load(),
 		WindowLen:        winLen,
@@ -515,6 +581,9 @@ func (l *Learner) Snapshot() LearnerSnapshot {
 		DriftSeverity:    rep.Severity,
 		ClassAccuracy:    classes,
 		Retraining:       l.retraining.Load(),
+		Degraded:         health.Degraded,
+		RejectionBackoff: health.RejectionBackoff,
+		RetrainWedged:    health.RetrainWedged,
 		Retrains:         l.retrains.Load(),
 		RetrainErrors:    l.retrainErrs.Load(),
 		GateEnabled:      l.gate != nil,
