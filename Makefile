@@ -8,9 +8,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet doc-check build test race bench-smoke fuzz-smoke drift-smoke drift-http-smoke chaos-smoke bench bench-kernels bench-serve bench-drift bench-cluster
+.PHONY: ci fmt-check vet doc-check build test race bench-smoke fuzz-smoke bench-compare drift-smoke drift-http-smoke chaos-smoke bench bench-kernels bench-serve bench-drift bench-cluster
 
-ci: fmt-check vet doc-check build race bench-smoke fuzz-smoke drift-smoke drift-http-smoke chaos-smoke
+ci: fmt-check vet doc-check build race bench-smoke fuzz-smoke bench-compare drift-smoke drift-http-smoke chaos-smoke
 
 # gofmt must be a no-op across the tree.
 fmt-check:
@@ -41,10 +41,30 @@ race:
 bench-smoke:
 	$(GO) test ./... -run xxx -bench . -benchtime 1x
 
-# The feedback-window fuzz target's seed corpus, run deterministically
-# (plain `go test` executes every f.Add seed; no fuzzing engine involved).
+# The fuzz targets' seed corpora, run deterministically (plain `go test`
+# executes every f.Add seed; no fuzzing engine involved).
 fuzz-smoke:
 	$(GO) test -run 'FuzzFeedbackWindow' .
+	$(GO) test -run 'FuzzBitpackRoundTrip' ./internal/bitpack
+
+# The perf-regression gate: re-measure the SIMD-critical kernel benchmarks
+# (bitpack score/pack, mat GEMM/dot) and fail if any regressed past the
+# committed baseline with non-overlapping sample ranges (see
+# cmd/benchcompare for the noise rules). The threshold is calibrated to
+# this host: the shared-VM scheduler shifts whole benchmark runs by ±35%
+# between quiet and loaded phases (measured on identical code), so the
+# gate flags only distribution shifts a kernel bug would cause — a
+# dropped asm tier is ≥3×, a lost fused path ≥2× — not phase drift.
+# Finer trends are tracked across PRs by the committed BENCH_*.json
+# snapshots. Refresh bench/baseline.txt on a quiet machine when a
+# deliberate perf change lands.
+bench-compare:
+	@$(GO) test ./internal/bitpack -run xxx -bench 'BenchmarkScoreBatch|BenchmarkPackSigns' \
+		-benchtime 50ms -count 5 > bench/current.txt
+	@$(GO) test ./internal/mat -run xxx -bench 'BenchmarkMulTInto|BenchmarkDotBatch' \
+		-benchtime 50ms -count 5 >> bench/current.txt
+	$(GO) run ./cmd/benchcompare -baseline bench/baseline.txt -threshold 1.50 \
+		-json BENCH_PR6.json bench/current.txt
 
 # One CI-sized pass of the streaming drift benchmark, so the closed-loop
 # learner harness cannot rot.

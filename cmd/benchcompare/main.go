@@ -1,0 +1,175 @@
+// Command benchcompare gates CI on benchmark regressions: it parses two
+// `go test -bench` outputs — a committed baseline and the current run —
+// aggregates the repeated measurements of each benchmark (-count N), and
+// fails (exit 1) when any benchmark regressed.
+//
+// Usage:
+//
+//	go test ./internal/bitpack -bench . -count 5 | tee current.txt
+//	benchcompare -baseline bench/baseline.txt [-threshold 1.10] [-json out.json] current.txt
+//
+// A benchmark counts as regressed only when BOTH hold:
+//
+//   - its current mean ns/op exceeds the baseline mean by more than
+//     -threshold (default 1.10 = +10%), and
+//   - the current MINIMUM exceeds the baseline MAXIMUM — the two samples'
+//     ranges do not even overlap, so scheduler noise cannot explain it.
+//
+// The interval-overlap clause is what makes the gate usable on a noisy
+// single-core CI host: a genuine kernel regression (say a dropped SIMD
+// path) shifts the whole distribution, while a noisy run merely stretches
+// it. Benchmarks present on only one side are reported but never fail the
+// gate (new benchmarks must be able to land, and removed ones to leave).
+//
+// -json writes the aggregated current measurements (mean/min/max ns/op,
+// allocs/op, sample count) as a JSON report — the committed BENCH_*.json
+// provenance files.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchLine matches one `go test -bench` result line:
+//
+//	BenchmarkScoreBatch/d=2048/avx512-1   37482   3208 ns/op   0 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:.*?\s(\d+) allocs/op)?`)
+
+// sample aggregates one benchmark's repeated measurements.
+type sample struct {
+	Name   string  `json:"name"`
+	N      int     `json:"n"`
+	MeanNs float64 `json:"mean_ns_op"`
+	MinNs  float64 `json:"min_ns_op"`
+	MaxNs  float64 `json:"max_ns_op"`
+	Allocs int64   `json:"allocs_op"`
+	sum    float64
+}
+
+// parseFile reads a -bench output and aggregates per benchmark name.
+func parseFile(path string) (map[string]*sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]*sample)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		s := out[m[1]]
+		if s == nil {
+			s = &sample{Name: m[1], MinNs: ns, MaxNs: ns}
+			out[m[1]] = s
+		}
+		s.N++
+		s.sum += ns
+		if ns < s.MinNs {
+			s.MinNs = ns
+		}
+		if ns > s.MaxNs {
+			s.MaxNs = ns
+		}
+		if m[4] != "" {
+			if a, err := strconv.ParseInt(m[4], 10, 64); err == nil {
+				s.Allocs = a
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, s := range out {
+		s.MeanNs = s.sum / float64(s.N)
+	}
+	return out, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "committed baseline -bench output to compare against")
+	threshold := flag.Float64("threshold", 1.10, "mean-ns/op ratio above which a benchmark may regress")
+	jsonOut := flag.String("json", "", "write the aggregated current measurements to this JSON file")
+	flag.Parse()
+	if *baseline == "" || flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchcompare -baseline <file> [-threshold 1.10] [-json out.json] <current-bench-output>")
+		os.Exit(2)
+	}
+	base, err := parseFile(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcompare: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcompare: current: %v\n", err)
+		os.Exit(2)
+	}
+	if len(cur) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcompare: current run contains no benchmark lines")
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressed := 0
+	for _, name := range names {
+		c := cur[name]
+		b, ok := base[name]
+		if !ok {
+			fmt.Printf("%-56s %12.0f ns/op   (new, no baseline)\n", name, c.MeanNs)
+			continue
+		}
+		ratio := c.MeanNs / b.MeanNs
+		verdict := "ok"
+		if ratio > *threshold && c.MinNs > b.MaxNs {
+			verdict = "REGRESSED"
+			regressed++
+		}
+		fmt.Printf("%-56s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n",
+			name, b.MeanNs, c.MeanNs, 100*(ratio-1), verdict)
+	}
+	for name := range base {
+		if _, ok := cur[name]; !ok {
+			fmt.Printf("%-56s (removed from current run)\n", name)
+		}
+	}
+
+	if *jsonOut != "" {
+		report := make([]*sample, 0, len(names))
+		for _, name := range names {
+			report = append(report, cur[name])
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcompare: json: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcompare: json: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchcompare: %d benchmark(s) regressed past %.0f%% with non-overlapping ranges\n",
+			regressed, 100*(*threshold-1))
+		os.Exit(1)
+	}
+}

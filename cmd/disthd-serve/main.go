@@ -6,6 +6,16 @@
 //	disthd-serve -model model.bin -addr :8080
 //	disthd-serve -demo UCIHAR -dim 512 -addr :8080   # train a demo model
 //	disthd-serve -demo UCIHAR -learn -auto-retrain   # drift-adaptive server
+//	disthd-serve -demo PAMAP2 -dim 2048 -quantize 1bit  # packed 1-bit tier
+//
+// -quantize 1bit deploys the bitpacked inference tier: the f32 model is
+// trained (or loaded) first, sign-quantized, and — when -demo provides a
+// test split to judge on — published only if the packed tier's accuracy
+// stays within -quantize-margin of the f32 champion's (the same
+// champion/challenger gate POST /quantize applies at runtime; a rejected
+// quantization keeps the f32 champion serving and says so). A -model
+// snapshot has no holdout, so it publishes ungated with a warning — or
+// just ship a version-2 (packed) snapshot, which serves quantized as-is.
 //
 // The server coalesces concurrent /predict calls into micro-batches and
 // runs them through the zero-allocation batched-GEMM kernels; /swap
@@ -62,6 +72,8 @@ func main() {
 		minFill  = flag.Int("min-fill", 1, "linger up to -max-delay for this many rows before flushing")
 		maxDelay = flag.Duration("max-delay", 2*time.Millisecond, "deadline for a lingering micro-batch")
 		replicas = flag.Int("replicas", 0, "serving replicas (0 = GOMAXPROCS)")
+		quantize = flag.String("quantize", "", "deploy a quantized inference tier (\"1bit\" = packed sign bits on XOR+popcount kernels)")
+		quantMar = flag.Float64("quantize-margin", -0.02, "holdout-accuracy regression the quantized tier may cost and still publish (negative tolerates loss)")
 
 		learn     = flag.Bool("learn", false, "enable online learning (/learn, /retrain, learner gauges in /stats)")
 		learnWin  = flag.Int("learn-window", 512, "labeled-feedback window retrains draw from")
@@ -79,11 +91,21 @@ func main() {
 	)
 	flag.Parse()
 
-	m, err := loadModel(*model, *demo, *dim, *scale, *seed)
+	m, gateSplit, err := loadModel(*model, *demo, *dim, *scale, *seed)
 	if err != nil {
 		log.Fatalf("disthd-serve: %v", err)
 	}
-	log.Printf("serving model: %d features, D=%d, %d classes", m.Features(), m.Dim(), m.Classes())
+	if *quantize != "" {
+		m, err = quantizeModel(m, *quantize, *quantMar, gateSplit)
+		if err != nil {
+			log.Fatalf("disthd-serve: %v", err)
+		}
+	}
+	tier := "f32"
+	if m.Quantized() {
+		tier = "1bit"
+	}
+	log.Printf("serving model: %d features, D=%d, %d classes, %s tier", m.Features(), m.Dim(), m.Classes(), tier)
 
 	srv, err := serve.New(m, serve.Options{
 		MaxBatch: *maxBatch,
@@ -145,29 +167,66 @@ func main() {
 	log.Printf("bye: %+v", srv.Batcher().Stats())
 }
 
-// loadModel reads a snapshot from disk or trains a demo model.
-func loadModel(path, demo string, dim int, scale float64, seed uint64) (*disthd.Model, error) {
+// loadModel reads a snapshot from disk or trains a demo model. For -demo
+// it also returns the test split, which -quantize uses as the gate
+// holdout; a disk snapshot has none.
+func loadModel(path, demo string, dim int, scale float64, seed uint64) (*disthd.Model, disthd.DataSplit, error) {
 	switch {
 	case path != "" && demo != "":
-		return nil, fmt.Errorf("-model and -demo are mutually exclusive")
+		return nil, disthd.DataSplit{}, fmt.Errorf("-model and -demo are mutually exclusive")
 	case path != "":
 		f, err := os.Open(path)
 		if err != nil {
-			return nil, err
+			return nil, disthd.DataSplit{}, err
 		}
 		defer f.Close()
-		return disthd.Load(f)
+		m, err := disthd.Load(f)
+		return m, disthd.DataSplit{}, err
 	case demo != "":
-		train, _, err := disthd.SyntheticBenchmark(demo, scale, seed)
+		train, test, err := disthd.SyntheticBenchmark(demo, scale, seed)
 		if err != nil {
-			return nil, err
+			return nil, disthd.DataSplit{}, err
 		}
 		cfg := disthd.DefaultConfig()
 		cfg.Dim = dim
 		cfg.Seed = seed
 		log.Printf("training demo model on %s (scale %.2f, D=%d)...", demo, scale, dim)
-		return disthd.TrainWithConfig(train.X, train.Y, train.Classes, cfg)
+		m, err := disthd.TrainWithConfig(train.X, train.Y, train.Classes, cfg)
+		return m, test, err
 	default:
-		return nil, fmt.Errorf("need -model <file> or -demo <benchmark> (one of %v)", disthd.BenchmarkNames())
+		return nil, disthd.DataSplit{}, fmt.Errorf("need -model <file> or -demo <benchmark> (one of %v)", disthd.BenchmarkNames())
 	}
+}
+
+// quantizeModel deploys the requested quantized tier over the f32 model m,
+// gating on the holdout split when one exists. A rejected quantization
+// returns the f32 champion — serving stays correct, just not packed.
+func quantizeModel(m *disthd.Model, kind string, margin float64, holdout disthd.DataSplit) (*disthd.Model, error) {
+	if kind != "1bit" {
+		return nil, fmt.Errorf("unknown -quantize tier %q (only \"1bit\")", kind)
+	}
+	if m.Quantized() {
+		log.Printf("model snapshot is already 1-bit packed; nothing to quantize")
+		return m, nil
+	}
+	q, err := m.Quantize1Bit()
+	if err != nil {
+		return nil, err
+	}
+	if len(holdout.X) == 0 {
+		log.Printf("WARNING: no holdout to gate on (-model snapshot); publishing the 1-bit tier ungated")
+		return q, nil
+	}
+	v, err := disthd.NewGate(disthd.GateConfig{MinMargin: margin}).Evaluate(m, q, holdout.X, holdout.Y)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("quantize gate: f32 %.4f vs 1bit %.4f on %d held-out samples (margin %+.4f, floor %+.4f)",
+		v.ChampionAccuracy, v.ChallengerAccuracy, v.HoldoutSize, v.Margin, margin)
+	if !v.Publish {
+		log.Printf("WARNING: 1-bit tier REJECTED by the gate; serving the f32 champion instead")
+		return m, nil
+	}
+	log.Printf("1-bit tier published: packed classes, XOR+popcount scoring")
+	return q, nil
 }

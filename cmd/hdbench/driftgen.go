@@ -30,6 +30,7 @@ type driftgenOptions struct {
 	retrainIters int
 	trainIters   int
 	httpTarget   string
+	quantize     bool
 	quick        bool
 }
 
@@ -273,8 +274,28 @@ func adaptiveRun(o driftgenOptions, base *disthd.Model, samples []driftSample, b
 	return res, nil
 }
 
+// frozenRun measures a non-adapting model's windowed accuracy over the
+// stream — the control arm, also used for the frozen 1-bit tier (which is
+// frozen by construction: quantized models refuse online updates).
+func frozenRun(m *disthd.Model, samples []driftSample, bounds [][2]int) adaptiveResult {
+	var res adaptiveResult
+	for _, b := range bounds {
+		ok := 0
+		for _, s := range samples[b[0]:b[1]] {
+			if p, err := m.Predict(s.x); err == nil && p == s.label {
+				ok++
+			}
+		}
+		res.accs = append(res.accs, float64(ok)/float64(b[1]-b[0]))
+	}
+	return res
+}
+
 // driftgenKind streams one DriftKind through the frozen, ungated-adaptive
 // and gated-adaptive serving paths and prints the windowed comparison.
+// With -quantize a frozen-1bit column rides along: the packed tier cannot
+// adapt, so its decay under drift is exactly what an edge deployment
+// trades for the packed footprint.
 func driftgenKind(o driftgenOptions, kind dataset.DriftKind, base *disthd.Model, test *dataset.Dataset, w io.Writer) error {
 	stream, err := dataset.NewDriftStream(test, kind, o.fraction, o.severity, o.seed^0xd21f7)
 	if err != nil {
@@ -283,15 +304,14 @@ func driftgenKind(o driftgenOptions, kind dataset.DriftKind, base *disthd.Model,
 	samples := materialize(stream, base.Classes(), o.labelNoise, o.seed^0xf11b)
 	bounds := windowBounds(len(samples), o.windows)
 
-	var frozen adaptiveResult
-	for _, b := range bounds {
-		ok := 0
-		for _, s := range samples[b[0]:b[1]] {
-			if p, err := base.Predict(s.x); err == nil && p == s.label {
-				ok++
-			}
+	frozen := frozenRun(base, samples, bounds)
+	var frozen1b adaptiveResult
+	if o.quantize {
+		q, err := base.Quantize1Bit()
+		if err != nil {
+			return err
 		}
-		frozen.accs = append(frozen.accs, float64(ok)/float64(b[1]-b[0]))
+		frozen1b = frozenRun(q, samples, bounds)
 	}
 	ungated, err := adaptiveRun(o, base, samples, bounds, false)
 	if err != nil {
@@ -302,19 +322,33 @@ func driftgenKind(o driftgenOptions, kind dataset.DriftKind, base *disthd.Model,
 		return err
 	}
 
+	q1b := func(i int) string {
+		if !o.quantize {
+			return ""
+		}
+		return fmt.Sprintf(" %10.3f", frozen1b.accs[i])
+	}
 	fmt.Fprintf(w, "\ndrift kind: %s\n", driftKindName(kind))
-	fmt.Fprintf(w, "%8s %10s %10s %10s %10s %9s %8s %8s\n",
-		"window", "severity", "frozen", "ungated", "gated", "ug-retr", "g-retr", "g-rej")
+	q1bHead := ""
+	if o.quantize {
+		q1bHead = fmt.Sprintf(" %10s", "froz-1bit")
+	}
+	fmt.Fprintf(w, "%8s %10s %10s%s %10s %10s %9s %8s %8s\n",
+		"window", "severity", "frozen", q1bHead, "ungated", "gated", "ug-retr", "g-retr", "g-rej")
 	for i, b := range bounds {
-		fmt.Fprintf(w, "%8d %10.2f %10.3f %10.3f %10.3f %9d %8d %8d\n",
-			i, samples[b[1]-1].severity, frozen.accs[i], ungated.accs[i], gated.accs[i],
+		fmt.Fprintf(w, "%8d %10.2f %10.3f%s %10.3f %10.3f %9d %8d %8d\n",
+			i, samples[b[1]-1].severity, frozen.accs[i], q1b(i), ungated.accs[i], gated.accs[i],
 			ungated.retrains[i], gated.retrains[i], gated.rejects[i])
 	}
 	verdict := "gated >= ungated"
 	if gated.mean() < ungated.mean() {
 		verdict = "GATED BELOW UNGATED"
 	}
-	fmt.Fprintf(w, "%8s %10s %10.3f %10.3f %10.3f   %s\n",
-		"mean", "", frozen.mean(), ungated.mean(), gated.mean(), verdict)
+	q1bMean := ""
+	if o.quantize {
+		q1bMean = fmt.Sprintf(" %10.3f", frozen1b.mean())
+	}
+	fmt.Fprintf(w, "%8s %10s %10.3f%s %10.3f %10.3f   %s\n",
+		"mean", "", frozen.mean(), q1bMean, ungated.mean(), gated.mean(), verdict)
 	return nil
 }

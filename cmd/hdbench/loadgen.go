@@ -23,6 +23,7 @@ type loadgenOptions struct {
 	duration    time.Duration
 	maxBatch    int
 	maxDelay    time.Duration
+	quantize    bool
 }
 
 // parseConcurrency parses a comma-separated concurrency sweep.
@@ -41,8 +42,10 @@ func parseConcurrency(s string) ([]int, error) {
 // runLoadgen trains a model, then drives it closed-loop — every virtual
 // client issues one request, waits for the answer, repeats — through both
 // the per-request Predict path and the micro-batching serve.Batcher, and
-// prints throughput vs. concurrency with the batching speedup. This is
-// the measurement behind PERF.md's serving table.
+// prints throughput vs. concurrency with the batching speedup. With
+// -quantize the sweep adds a third column: the same Batcher serving the
+// 1-bit packed tier, with its speedup over the batched f32 path. This is
+// the measurement behind PERF.md's serving tables.
 func runLoadgen(o loadgenOptions, w io.Writer) error {
 	train, test, err := disthd.SyntheticBenchmark(o.dataset, o.scale, o.seed)
 	if err != nil {
@@ -57,10 +60,42 @@ func runLoadgen(o loadgenOptions, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var qm *disthd.Model
+	if o.quantize {
+		if qm, err = m.Quantize1Bit(); err != nil {
+			return err
+		}
+	}
+
+	// batcherLoop measures one closed-loop cell through a fresh Batcher
+	// over the given model, returning req/s and mean batch occupancy.
+	batcherLoop := func(model *disthd.Model, conc, minFill int) (float64, float64, error) {
+		bat, err := serve.NewBatcher(model, serve.Options{
+			MaxBatch: o.maxBatch,
+			MinFill:  minFill,
+			MaxDelay: o.maxDelay,
+			Replicas: 1,
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		rate := closedLoop(conc, o.duration, test.X, func(x []float64) error {
+			_, err := bat.Predict(x)
+			return err
+		})
+		snap := bat.Stats()
+		bat.Close()
+		return rate, snap.MeanBatchRows, nil
+	}
 
 	fmt.Fprintf(w, "closed-loop, %v per cell, %d query rows\n\n", o.duration, test.Len())
-	fmt.Fprintf(w, "%12s %16s %16s %10s %12s\n",
-		"concurrency", "direct req/s", "batched req/s", "speedup", "rows/batch")
+	if o.quantize {
+		fmt.Fprintf(w, "%12s %16s %16s %10s %16s %12s %12s\n",
+			"concurrency", "direct req/s", "batched req/s", "speedup", "1bit req/s", "1bit/f32", "rows/batch")
+	} else {
+		fmt.Fprintf(w, "%12s %16s %16s %10s %12s\n",
+			"concurrency", "direct req/s", "batched req/s", "speedup", "rows/batch")
+	}
 	for _, conc := range o.concurrency {
 		direct := closedLoop(conc, o.duration, test.X, func(x []float64) error {
 			_, err := m.Predict(x)
@@ -71,24 +106,21 @@ func runLoadgen(o loadgenOptions, w io.Writer) error {
 		if minFill < 1 {
 			minFill = 1
 		}
-		bat, err := serve.NewBatcher(m, serve.Options{
-			MaxBatch: o.maxBatch,
-			MinFill:  minFill,
-			MaxDelay: o.maxDelay,
-			Replicas: 1,
-		})
+		batched, meanRows, err := batcherLoop(m, conc, minFill)
 		if err != nil {
 			return err
 		}
-		batched := closedLoop(conc, o.duration, test.X, func(x []float64) error {
-			_, err := bat.Predict(x)
-			return err
-		})
-		snap := bat.Stats()
-		bat.Close()
-
+		if o.quantize {
+			packed, _, err := batcherLoop(qm, conc, minFill)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%12d %16.0f %16.0f %9.2fx %16.0f %11.2fx %12.1f\n",
+				conc, direct, batched, batched/direct, packed, packed/batched, meanRows)
+			continue
+		}
 		fmt.Fprintf(w, "%12d %16.0f %16.0f %9.2fx %12.1f\n",
-			conc, direct, batched, batched/direct, snap.MeanBatchRows)
+			conc, direct, batched, batched/direct, meanRows)
 	}
 	return nil
 }

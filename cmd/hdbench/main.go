@@ -69,6 +69,7 @@ func main() {
 		lgBatch = flag.Int("max-batch", 64, "loadgen: batcher MaxBatch")
 		lgDelay = flag.Duration("max-delay", 2*time.Millisecond, "loadgen: batcher MaxDelay")
 		lgScale = flag.Float64("loadgen-scale", 0.2, "loadgen: dataset scale")
+		quant   = flag.Bool("quantize", false, "loadgen: add a batched 1-bit packed-tier column with its speedup over batched f32; driftgen (in-process): add a frozen-1bit accuracy column")
 
 		chaos = flag.Bool("chaos", false, "run the fault-injection chaos load harness: spin a coordinator + 3 real-HTTP workers in-process, kill one and stall another mid-load, and fail unless 0 requests were dropped (with -http, drive a live disthd-cluster instead while a script injects the faults)")
 
@@ -138,6 +139,7 @@ func main() {
 			retrainIters: *dgRetrain,
 			trainIters:   *dgTrain,
 			httpTarget:   *dgHTTP,
+			quantize:     *quant,
 			quick:        *quick,
 		}
 		if err := runDriftgen(o, os.Stdout); err != nil {
@@ -162,6 +164,7 @@ func main() {
 			duration:    *lgDur,
 			maxBatch:    *lgBatch,
 			maxDelay:    *lgDelay,
+			quantize:    *quant,
 		}
 		if err := runLoadgen(o, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "hdbench: loadgen: %v\n", err)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/bitpack"
 	"repro/internal/core"
 	"repro/internal/encoding"
 	"repro/internal/mat"
@@ -79,6 +80,10 @@ func (c Config) toCore() core.Config {
 type Model struct {
 	clf  *core.Classifier
 	kind EncoderKind
+	// packed, when non-nil, marks the model as a frozen 1-bit quantized
+	// view (see Quantize1Bit): the packed sign bits of every class
+	// hypervector, served through the XOR+popcount kernels.
+	packed *bitpack.Matrix
 	// Info summarizes the training run that produced the model.
 	Info TrainInfo
 }
@@ -156,10 +161,22 @@ func (m *Model) Dim() int { return m.clf.Model.Dim() }
 // Features returns the expected input width.
 func (m *Model) Features() int { return m.clf.Enc.Features() }
 
-// Predict classifies a single feature vector.
+// Predict classifies a single feature vector. On a quantized model this
+// runs entirely on the packed tier (sign-bit encode, XOR+popcount
+// scoring).
 func (m *Model) Predict(x []float64) (int, error) {
 	if len(x) != m.Features() {
 		return 0, fmt.Errorf("disthd: input has %d features, model expects %d", len(x), m.Features())
+	}
+	if m.Quantized() {
+		scores := m.packedScoresSingle(x)
+		best := 0
+		for c := 1; c < len(scores); c++ {
+			if scores[c] > scores[best] {
+				best = c
+			}
+		}
+		return best, nil
 	}
 	return m.clf.Predict(x), nil
 }
@@ -170,14 +187,29 @@ func (m *Model) PredictTop2(x []float64) (first, second int, err error) {
 	if len(x) != m.Features() {
 		return 0, 0, fmt.Errorf("disthd: input has %d features, model expects %d", len(x), m.Features())
 	}
+	if m.Quantized() {
+		first, second = packedTop2(m.packedScoresSingle(x))
+		return first, second, nil
+	}
 	first, second = m.clf.PredictTop2(x)
 	return first, second, nil
 }
 
-// Scores returns the cosine similarity of x with every class hypervector.
+// Scores returns the cosine similarity of x with every class
+// hypervector. On a quantized model the scores are the exact bipolar
+// cosines agreement/D (both packed vectors have norm √D), so they live
+// on the same [−1, 1] scale as the float path.
 func (m *Model) Scores(x []float64) ([]float64, error) {
 	if len(x) != m.Features() {
 		return nil, fmt.Errorf("disthd: input has %d features, model expects %d", len(x), m.Features())
+	}
+	if m.Quantized() {
+		agr := m.packedScoresSingle(x)
+		out := make([]float64, len(agr))
+		for c, a := range agr {
+			out[c] = float64(a) / float64(m.Dim())
+		}
+		return out, nil
 	}
 	return m.clf.Scores(x), nil
 }
@@ -189,6 +221,10 @@ func (m *Model) PredictBatch(X [][]float64) ([]int, error) {
 	}
 	if len(X[0]) != m.Features() {
 		return nil, fmt.Errorf("disthd: input has %d features, model expects %d", len(X[0]), m.Features())
+	}
+	if m.Quantized() {
+		out, _ := m.packedPredictBatch(X, false)
+		return out, nil
 	}
 	return m.clf.PredictBatch(mat.FromRows(X)), nil
 }
@@ -225,6 +261,9 @@ func (m *Model) Evaluate(X [][]float64, y []int) (float64, error) {
 // retrain. Dimension regeneration does not occur online (it needs batch
 // error statistics); schedule periodic re-training for that.
 func (m *Model) Update(x []float64, label int) (wasCorrect bool, err error) {
+	if m.Quantized() {
+		return false, fmt.Errorf("disthd: quantized model is frozen; online updates need the f32 champion")
+	}
 	if len(x) != m.Features() {
 		return false, fmt.Errorf("disthd: input has %d features, model expects %d", len(x), m.Features())
 	}
@@ -242,6 +281,25 @@ func (m *Model) TopKAccuracy(X [][]float64, y []int, k int) (float64, error) {
 	}
 	if len(X[0]) != m.Features() {
 		return 0, fmt.Errorf("disthd: input has %d features, model expects %d", len(X[0]), m.Features())
+	}
+	if m.Quantized() {
+		_, scores := m.packedPredictBatch(X, true)
+		classes := m.Classes()
+		correct := 0
+		for i := range X {
+			s := scores[i*classes : (i+1)*classes]
+			ys := s[y[i]]
+			rank := 0
+			for c, v := range s {
+				if v > ys || (v == ys && c < y[i]) {
+					rank++
+				}
+			}
+			if rank < k {
+				correct++
+			}
+		}
+		return float64(correct) / float64(len(y)), nil
 	}
 	return m.clf.TopKAccuracy(mat.FromRows(X), y, k), nil
 }

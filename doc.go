@@ -15,6 +15,15 @@
 //     for edge deployment; Deployed.Inject simulates hardware bit flips so
 //     the robustness of a configuration can be measured before committing
 //     to silicon.
+//   - Model.Quantize1Bit freezes a trained model into a servable 1-bit
+//     view (the paper's most robust quantized configuration): packed
+//     sign-bit class hypervectors, queries encoded straight to sign bits,
+//     XOR+popcount scoring — several times f32 batched throughput at the
+//     same shape. A quantized model predicts, serializes (packed wire
+//     format), and serves through Replica, but refuses to learn; keep the
+//     f32 champion for training and quantize successors from it, gating
+//     each publish on measured holdout accuracy (serve does this on
+//     POST /quantize).
 //   - SyntheticBenchmark regenerates the paper's five evaluation datasets
 //     (as synthetic stand-ins with matching shape) at any scale, and
 //     ReadCSV/LoadCSVFile bring in real data.

@@ -26,7 +26,9 @@ package encoding
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
+	"repro/internal/bitpack"
 	"repro/internal/mat"
 	"repro/internal/rng"
 )
@@ -163,8 +165,18 @@ type RBF struct {
 	// needs a single math.Sincos per element instead of two trig calls of
 	// unrelated angles.
 	cosPhase, sinPhase []float64
-	sigma              float64   // per-component std of base draws (kernel bandwidth)
-	regen              *rng.Rand // stream that feeds regeneration draws
+	// fracPhase caches frac(c_d/2π) for the packed 1-bit encode path
+	// (bitpack.PackActivationSigns), which decides activation signs with
+	// the trig-free analytic rule instead of evaluating cos·sin.
+	fracPhase []float64
+	// base32c lazily caches the float32 lowering of base for the packed
+	// projection GEMM, which only consumes activation signs and so runs
+	// in single precision. Regenerate drops the cache; concurrent readers
+	// may race to rebuild it, which is harmless (both lowerings are
+	// identical).
+	base32c atomic.Pointer[mat.Dense32]
+	sigma   float64   // per-component std of base draws (kernel bandwidth)
+	regen   *rng.Rand // stream that feeds regeneration draws
 	// post is the fused-GEMM epilogue (nonlinearRow bound to this encoder),
 	// built once at construction so batch encodes allocate nothing.
 	post func(i int, row []float64)
@@ -216,10 +228,15 @@ func (e *RBF) finish() *RBF {
 	return e
 }
 
-// refreshPhaseCache recomputes the cached cos/sin of every phase.
+// refreshPhaseCache recomputes the cached cos/sin and fractional-turn
+// views of every phase.
 func (e *RBF) refreshPhaseCache() {
+	if e.fracPhase == nil {
+		e.fracPhase = make([]float64, len(e.phase))
+	}
 	for d, c := range e.phase {
 		e.sinPhase[d], e.cosPhase[d] = math.Sincos(c)
+		e.fracPhase[d] = bitpack.FracTurns(c)
 	}
 }
 
@@ -283,7 +300,22 @@ func (e *RBF) Regenerate(dims []int) {
 		e.regen.FillNorm(e.base.Row(d), 0, e.sigma)
 		e.phase[d] = e.regen.Uniform(0, 2*math.Pi)
 		e.sinPhase[d], e.cosPhase[d] = math.Sincos(e.phase[d])
+		e.fracPhase[d] = bitpack.FracTurns(e.phase[d])
 	}
+	e.base32c.Store(nil)
+}
+
+// base32 returns the float32 lowering of the projection base, building
+// and caching it on first use. The cache survives until Regenerate
+// redraws base rows.
+func (e *RBF) base32() *mat.Dense32 {
+	if b := e.base32c.Load(); b != nil {
+		return b
+	}
+	b := mat.NewDense32(e.base.Rows, e.base.Cols)
+	b.SetFrom(e.base)
+	e.base32c.Store(b)
+	return b
 }
 
 // EncodeDims computes only the listed output dimensions of x. PanelDot

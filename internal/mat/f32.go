@@ -1,0 +1,391 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file holds the float32 projection kernels behind the packed 1-bit
+// encode path. The quantized serving tier only consumes the SIGN of each
+// RBF activation, so its projection GEMM runs in float32 — half the
+// memory traffic and twice the SIMD lanes of the float64 kernels — while
+// the f32 champion keeps the float64 path untouched.
+//
+// The contract mirrors kernels.go exactly: the pure-Go functions in this
+// file define the arithmetic, and the assembly tiers in simd32_amd64.s
+// reproduce it bit for bit, so the packed bits of an encode never depend
+// on the host ISA. Each output element is accumulated as sixteen strided
+// float32 fused-multiply-add lanes — the dataflow of one 16-wide AVX-512
+// VFMADD231PS loop (or two 8-wide AVX2 ones) — and reduced by the fixed
+// extract/add tree of laneSum32. The Go lanes use fma32, an exact
+// software emulation of the hardware single-precision FMA (see its
+// comment for the round-to-odd argument), so "same bits" holds even on
+// hosts with no FMA at all.
+
+// kernelNR32 is the f32 register-tile width (outputs per pass), matching
+// the float64 kernels; lanes32 is the FMA lane count per output element.
+const (
+	kernelNR32 = 4
+	lanes32    = 16
+)
+
+// Dense32 is a row-major float32 matrix — the minimal shape the packed
+// encode path needs (scratch views, no general linear algebra). Element
+// (i,j) is Data[i*Stride+j]. NewDense32 rounds Stride up to lanes32 so
+// every row starts 64-byte aligned (given an aligned base) and the SIMD
+// kernels can run whole 16-lane groups over the zero padding instead of
+// a masked tail — the same padded-row trick bitpack.Matrix plays with
+// its words. The padding columns MUST stay zero; Row excludes them and
+// all writers in this package preserve them.
+type Dense32 struct {
+	Rows, Cols, Stride int
+	Data               []float32
+}
+
+// Stride32 returns the padded row stride NewDense32 would pick for a
+// matrix of cols columns: cols rounded up to a multiple of lanes32.
+func Stride32(cols int) int {
+	return (cols + lanes32 - 1) &^ (lanes32 - 1)
+}
+
+// NewDense32 returns a zeroed rows×cols float32 matrix with padded rows.
+func NewDense32(rows, cols int) *Dense32 {
+	stride := Stride32(cols)
+	return &Dense32{Rows: rows, Cols: cols, Stride: stride, Data: make([]float32, rows*stride)}
+}
+
+// View32 wraps an existing slice as a rows×cols matrix without copying.
+// The backing slice must hold rows padded to Stride32(cols) and the
+// padding columns must be zero (a freshly allocated arena qualifies).
+func View32(rows, cols int, data []float32) *Dense32 {
+	stride := Stride32(cols)
+	if len(data) < rows*stride {
+		panic(fmt.Sprintf("mat: View32 backing slice %d for %dx%d (stride %d)", len(data), rows, cols, stride))
+	}
+	return &Dense32{Rows: rows, Cols: cols, Stride: stride, Data: data[:rows*stride]}
+}
+
+// Row returns row i as a zero-copy slice view, excluding the padding.
+func (m *Dense32) Row(i int) []float32 {
+	return m.Data[i*m.Stride : i*m.Stride+m.Cols]
+}
+
+// paddedRow returns row i including the zero padding columns — the view
+// the kernels iterate so no masked tail runs.
+func (m *Dense32) paddedRow(i int) []float32 {
+	return m.Data[i*m.Stride : (i+1)*m.Stride]
+}
+
+// SetFrom fills the matrix with the float64 values of src, rounding each
+// to float32 — how the packed encode path lowers its inputs and the
+// shared projection base. Padding columns are left untouched (zero).
+func (m *Dense32) SetFrom(src *Dense) {
+	if src.Rows != m.Rows || src.Cols != m.Cols {
+		panic(fmt.Sprintf("mat: SetFrom %dx%d from %dx%d", m.Rows, m.Cols, src.Rows, src.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		dst := m.Row(i)
+		srcRow := src.Row(i)
+		for j, v := range srcRow {
+			dst[j] = float32(v)
+		}
+	}
+}
+
+// fma32 is an exact software float32 fused multiply-add: it returns
+// a·b+c computed exactly and rounded ONCE to float32 — bit-identical to
+// the hardware VFMADD231PS lane the assembly tiers run.
+//
+// The product of two 24-bit significands is exact in float64, so only
+// the addition can round. A float64 round-to-nearest of p+c followed by
+// a float32 conversion would double-round; instead the float64 sum is
+// corrected to round-to-odd (if the TwoSum residual is nonzero and the
+// sum's mantissa is even, nudge one ulp toward the residual), after
+// which the final float32 rounding is exact — the standard Boldo–
+// Melquiond argument, valid because float64 carries ≥ 2·24+2 bits.
+func fma32(a, b, c float32) float32 {
+	p := float64(a) * float64(b)
+	s := p + float64(c)
+	t := s - p
+	r := (p - (s - t)) + (float64(c) - t)
+	if r != 0 && !math.IsNaN(r) && math.Float64bits(s)&1 == 0 {
+		if r > 0 {
+			s = math.Nextafter(s, math.Inf(1))
+		} else {
+			s = math.Nextafter(s, math.Inf(-1))
+		}
+	}
+	return float32(s)
+}
+
+// laneFMA32 folds panel elements [i, n) of a·b into the sixteen
+// accumulator lanes at lanes[o:o+16], continuing the stride-16 lane
+// pattern from panel index i.
+func laneFMA32(a, b []float32, i, n, o int, lanes *[64]float32) {
+	for ; i < n; i++ {
+		lanes[o+i%lanes32] = fma32(a[i], b[i], lanes[o+i%lanes32])
+	}
+}
+
+// laneSum32 is the horizontal reduction of one 16-lane group — the
+// extract/add tree of the AVX-512 epilogue (512→256→128-bit folds, then
+// the same final 4-lane order as the float64 kernels). The AVX2 tier's
+// two 8-lane accumulators add into exactly the first fold.
+func laneSum32(l *[64]float32, o int) float32 {
+	var m [8]float32
+	for j := 0; j < 8; j++ {
+		m[j] = l[o+j] + l[o+8+j]
+	}
+	var x [4]float32
+	for j := 0; j < 4; j++ {
+		x[j] = m[j] + m[j+4]
+	}
+	return (x[0] + x[2]) + (x[1] + x[3])
+}
+
+// laneDot32 is the canonical single-element f32 kernel: the inner
+// product of one panel accumulated in 16 strided fma32 lanes. Every
+// micro-kernel output element — assembly or pure Go, tiled or remainder
+// — equals laneDot32 over its panels.
+func laneDot32(a, b []float32) float32 {
+	var lanes [64]float32
+	laneFMA32(a, b[:len(a)], 0, len(a), 0, &lanes)
+	return laneSum32(&lanes, 0)
+}
+
+// laneDot232 computes two lane dots sharing b — the remainder-column
+// kernel for a pair of A rows.
+func laneDot232(a0, a1, b []float32) (s0, s1 float32) {
+	n := len(a0)
+	var lanes [64]float32
+	laneFMA32(a0, b[:n], 0, n, 0, &lanes)
+	laneFMA32(a1[:n], b[:n], 0, n, 16, &lanes)
+	return laneSum32(&lanes, 0), laneSum32(&lanes, 16)
+}
+
+// dotBatch4F32Go is the pure-Go 1×4 micro-kernel: four lane dots of a
+// against b0..b3 in one pass over a.
+func dotBatch4F32Go(a, b0, b1, b2, b3 []float32, out *[4]float32) {
+	n := len(a)
+	var lanes [64]float32
+	b0, b1, b2, b3 = b0[:n], b1[:n], b2[:n], b3[:n]
+	i := 0
+	for ; i+lanes32 <= n; i += lanes32 {
+		for k := 0; k < lanes32; k++ {
+			av := a[i+k]
+			lanes[k] = fma32(av, b0[i+k], lanes[k])
+			lanes[16+k] = fma32(av, b1[i+k], lanes[16+k])
+			lanes[32+k] = fma32(av, b2[i+k], lanes[32+k])
+			lanes[48+k] = fma32(av, b3[i+k], lanes[48+k])
+		}
+	}
+	laneFMA32(a, b0, i, n, 0, &lanes)
+	laneFMA32(a, b1, i, n, 16, &lanes)
+	laneFMA32(a, b2, i, n, 32, &lanes)
+	laneFMA32(a, b3, i, n, 48, &lanes)
+	out[0] = laneSum32(&lanes, 0)
+	out[1] = laneSum32(&lanes, 16)
+	out[2] = laneSum32(&lanes, 32)
+	out[3] = laneSum32(&lanes, 48)
+}
+
+// dotBatch4F32 dispatches the 1×4 micro-kernel.
+func dotBatch4F32(a, b0, b1, b2, b3 []float32, out *[4]float32) {
+	n := len(a)
+	switch f32ISA.Load() {
+	case f32AVX512:
+		dotBatch4F32AVX512(&a[0], &b0[0], &b1[0], &b2[0], &b3[0], n/lanes32, n%lanes32, out)
+		return
+	case f32AVX2:
+		dotBatch4F32AVX2(&a[0], &b0[0], &b1[0], &b2[0], &b3[0], n/lanes32, n%lanes32, &f32TailMasks, out)
+		return
+	}
+	dotBatch4F32Go(a, b0, b1, b2, b3, out)
+}
+
+// dot2x4F32 dispatches the 2×4 register tile. Only AVX-512 has a fused
+// 2×4 kernel; the AVX2 tier composes it from two 1×4 calls, which is
+// bit-identical because the eight outputs are independent lane dots.
+func dot2x4F32(a0, a1, b0, b1, b2, b3 []float32, out *[8]float32) {
+	n := len(a0)
+	switch f32ISA.Load() {
+	case f32AVX512:
+		dot2x4F32AVX512(&a0[0], &a1[0], &b0[0], &b1[0], &b2[0], &b3[0], n/lanes32, n%lanes32, out)
+		return
+	case f32AVX2:
+		var lo, hi [4]float32
+		dotBatch4F32AVX2(&a0[0], &b0[0], &b1[0], &b2[0], &b3[0], n/lanes32, n%lanes32, &f32TailMasks, &lo)
+		dotBatch4F32AVX2(&a1[0], &b0[0], &b1[0], &b2[0], &b3[0], n/lanes32, n%lanes32, &f32TailMasks, &hi)
+		out[0], out[1], out[2], out[3] = lo[0], lo[1], lo[2], lo[3]
+		out[4], out[5], out[6], out[7] = hi[0], hi[1], hi[2], hi[3]
+		return
+	}
+	var lo, hi [4]float32
+	dotBatch4F32Go(a0, b0, b1, b2, b3, &lo)
+	dotBatch4F32Go(a1[:n], b0, b1, b2, b3, &hi)
+	out[0], out[1], out[2], out[3] = lo[0], lo[1], lo[2], lo[3]
+	out[4], out[5], out[6], out[7] = hi[0], hi[1], hi[2], hi[3]
+}
+
+// PanelDot32 returns the inner product of a and b accumulated in the
+// same panel-wise lane order as the MulTInto32Fused micro-kernels:
+// kernelKC-column panels summed left to right (in float32), 16 strided
+// fma32 lanes within each panel. Use it to recompute any single element
+// of the blocked f32 product bitwise-identically to the batch kernels.
+func PanelDot32(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("mat: PanelDot32 length mismatch")
+	}
+	var s float32
+	for k0 := 0; k0 < len(a); k0 += kernelKC {
+		k1 := k0 + kernelKC
+		if k1 > len(a) {
+			k1 = len(a)
+		}
+		p := laneDot32(a[k0:k1], b[k0:k1])
+		if k0 == 0 {
+			s = p
+		} else {
+			s += p
+		}
+	}
+	return s
+}
+
+// MulTInto32Fused computes C = A · Bᵀ in float32 into dst (A n×q, B d×q,
+// dst n×d) with an optional per-row epilogue, mirroring MulTIntoFused's
+// blocking: kernelKC-column panels over the shared dimension, 2×4
+// register tiles within a panel, row blocks sharded across the worker
+// pool. post(i, dst.Row(i)) runs while the row is cache-hot and must be
+// safe to call concurrently for different rows. dst must not alias A or
+// B. It returns dst.
+func MulTInto32Fused(dst, a, b *Dense32, post func(i int, row []float32)) *Dense32 {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MulTInto32 inner dimension mismatch %d vs %d", a.Cols, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: MulTInto32 dst is %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
+	}
+	if a.Cols == 0 {
+		for i := range dst.Data {
+			dst.Data[i] = 0
+		}
+		if post != nil {
+			for i := 0; i < dst.Rows; i++ {
+				post(i, dst.Row(i))
+			}
+		}
+		return dst
+	}
+	blocks := (a.Rows + kernelMR - 1) / kernelMR
+	if Serial() || blocks == 1 {
+		mulT32Blocks(dst, a, b, post, 0, blocks)
+		return dst
+	}
+	ParallelFor(blocks, func(lo, hi int) {
+		mulT32Blocks(dst, a, b, post, lo, hi)
+	})
+	return dst
+}
+
+// mulT32Blocks processes row blocks [lo, hi) of the blocked f32 product,
+// applying the optional epilogue to each completed row. The whole range
+// runs as one kernel call so each four-row B tile is streamed from cache
+// once per shard, not once per kernelMR rows — at serving shapes B is
+// megabytes and dominates the memory traffic, while the shard's A rows
+// stay resident in L2.
+func mulT32Blocks(dst, a, b *Dense32, post func(i int, row []float32), lo, hi int) {
+	i0 := lo * kernelMR
+	i1 := hi * kernelMR
+	if i1 > a.Rows {
+		i1 = a.Rows
+	}
+	mulT32Block(dst, a, b, i0, i1)
+	if post != nil {
+		for i := i0; i < i1; i++ {
+			post(i, dst.Row(i))
+		}
+	}
+}
+
+// mulT32Block computes output rows [i0, i1) of dst = A·Bᵀ with panel
+// blocking over the shared dimension and 2×4 register tiling — the f32
+// mirror of mulTBlock, with panel accumulation in float32. The panels
+// run over the full padded stride: the padding columns are zero in both
+// operands, so the extra FMA lanes add +0 and the SIMD tiers never need
+// a masked tail (every group is a whole 16-lane step).
+func mulT32Block(dst, a, b *Dense32, i0, i1 int) {
+	q := a.Stride
+	d := b.Rows
+	var t8 [8]float32
+	var t4 [4]float32
+	for k0 := 0; k0 < q; k0 += kernelKC {
+		k1 := k0 + kernelKC
+		if k1 > q {
+			k1 = q
+		}
+		first := k0 == 0
+		j := 0
+		for ; j+kernelNR32 <= d; j += kernelNR32 {
+			b0 := b.paddedRow(j)[k0:k1]
+			b1 := b.paddedRow(j + 1)[k0:k1]
+			b2 := b.paddedRow(j + 2)[k0:k1]
+			b3 := b.paddedRow(j + 3)[k0:k1]
+			i := i0
+			for ; i+2 <= i1; i += 2 {
+				dot2x4F32(a.paddedRow(i)[k0:k1], a.paddedRow(i + 1)[k0:k1], b0, b1, b2, b3, &t8)
+				c0 := dst.Row(i)
+				c1 := dst.Row(i + 1)
+				if first {
+					c0[j], c0[j+1], c0[j+2], c0[j+3] = t8[0], t8[1], t8[2], t8[3]
+					c1[j], c1[j+1], c1[j+2], c1[j+3] = t8[4], t8[5], t8[6], t8[7]
+				} else {
+					c0[j] += t8[0]
+					c0[j+1] += t8[1]
+					c0[j+2] += t8[2]
+					c0[j+3] += t8[3]
+					c1[j] += t8[4]
+					c1[j+1] += t8[5]
+					c1[j+2] += t8[6]
+					c1[j+3] += t8[7]
+				}
+			}
+			if i < i1 {
+				dotBatch4F32(a.paddedRow(i)[k0:k1], b0, b1, b2, b3, &t4)
+				ci := dst.Row(i)
+				if first {
+					ci[j], ci[j+1], ci[j+2], ci[j+3] = t4[0], t4[1], t4[2], t4[3]
+				} else {
+					ci[j] += t4[0]
+					ci[j+1] += t4[1]
+					ci[j+2] += t4[2]
+					ci[j+3] += t4[3]
+				}
+			}
+		}
+		// Remainder columns (d % 4) run the pure-Go lane kernels so every
+		// output element stays reproducible by PanelDot32.
+		for ; j < d; j++ {
+			bj := b.paddedRow(j)[k0:k1]
+			i := i0
+			for ; i+2 <= i1; i += 2 {
+				s0, s1 := laneDot232(a.paddedRow(i)[k0:k1], a.paddedRow(i + 1)[k0:k1], bj)
+				if first {
+					dst.Row(i)[j] = s0
+					dst.Row(i + 1)[j] = s1
+				} else {
+					dst.Row(i)[j] += s0
+					dst.Row(i + 1)[j] += s1
+				}
+			}
+			if i < i1 {
+				s := laneDot32(a.paddedRow(i)[k0:k1], bj)
+				if first {
+					dst.Row(i)[j] = s
+				} else {
+					dst.Row(i)[j] += s
+				}
+			}
+		}
+	}
+}

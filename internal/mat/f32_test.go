@@ -1,0 +1,258 @@
+package mat
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// fillPseudo32 deterministically fills a slice with sign-mixed values.
+func fillPseudo32(xs []float32, seed float64) {
+	v := seed
+	for i := range xs {
+		v = v*1.000000059604644775390625 + 0.013671875
+		if v > 2 {
+			v -= 3.5
+		}
+		xs[i] = float32(v)
+	}
+}
+
+// fillDense32 fills the logical elements of a padded Dense32 row by row,
+// preserving the zero padding columns the kernels run over.
+func fillDense32(m *Dense32, seed float64) {
+	v := seed
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			v = v*1.000000059604644775390625 + 0.013671875
+			if v > 2 {
+				v -= 3.5
+			}
+			row[j] = float32(v)
+		}
+	}
+}
+
+// refFMA32 computes the correctly-rounded float32 a·b+c through
+// big.Float at full precision — the oracle fma32 must match.
+func refFMA32(a, b, c float32) float32 {
+	if math.IsNaN(float64(a)) || math.IsNaN(float64(b)) || math.IsNaN(float64(c)) {
+		return float32(math.NaN())
+	}
+	if math.IsInf(float64(a), 0) || math.IsInf(float64(b), 0) || math.IsInf(float64(c), 0) {
+		// big.Float panics on Inf-Inf / Inf·0; float64 arithmetic is
+		// exact for any finite float32 product, so Inf propagation and
+		// the NaN cases come out right.
+		return float32(float64(a)*float64(b) + float64(c))
+	}
+	var p, s big.Float
+	p.SetPrec(200).SetFloat64(float64(a))
+	p.Mul(&p, new(big.Float).SetFloat64(float64(b)))
+	s.SetPrec(200).SetFloat64(float64(c))
+	s.Add(&s, &p)
+	f, _ := s.Float32()
+	return f
+}
+
+// TestFMA32MatchesCorrectRounding proves the software fma32 is the
+// correctly-rounded fused multiply-add on random values, near-boundary
+// adversarial cases, and the special values — the property that makes
+// the Go fallback bit-identical to the hardware VFMADD231PS lanes.
+func TestFMA32MatchesCorrectRounding(t *testing.T) {
+	check := func(a, b, c float32) {
+		t.Helper()
+		got, want := fma32(a, b, c), refFMA32(a, b, c)
+		if got != want && !(math.IsNaN(float64(got)) && math.IsNaN(float64(want))) {
+			t.Fatalf("fma32(%g, %g, %g) = %g (%08x), want %g (%08x)",
+				a, b, c, got, math.Float32bits(got), want, math.Float32bits(want))
+		}
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200000; i++ {
+		a := float32(rng.NormFloat64())
+		b := float32(rng.NormFloat64())
+		// Bias c toward -a·b so the addition cancels and the rounding
+		// boundary cases (where double rounding would bite) are hit.
+		c := -a * b * (1 + float32(rng.NormFloat64())*1e-3)
+		if i%3 == 0 {
+			c = float32(rng.NormFloat64())
+		}
+		check(a, b, c)
+	}
+	// Tiny/huge magnitudes: subnormal products and near-overflow sums.
+	for i := 0; i < 20000; i++ {
+		a := float32(math.Ldexp(1+rng.Float64(), rng.Intn(280)-140))
+		b := float32(math.Ldexp(1+rng.Float64(), rng.Intn(280)-140))
+		c := float32(math.Ldexp(1+rng.Float64(), rng.Intn(280)-140))
+		if rng.Intn(2) == 0 {
+			c = -c
+		}
+		check(a, b, c)
+	}
+	inf := float32(math.Inf(1))
+	for _, tc := range [][3]float32{
+		{0, 0, 0}, {0, 0, float32(math.Copysign(0, -1))},
+		{inf, 1, 1}, {1, inf, -inf}, {inf, 0, 1},
+		{float32(math.NaN()), 1, 1}, {1, 1, float32(math.NaN())},
+		{math.MaxFloat32, math.MaxFloat32, -inf},
+		{math.MaxFloat32, 2, math.MaxFloat32},
+		{1.0000001, 1.0000001, -1},
+	} {
+		check(tc[0], tc[1], tc[2])
+	}
+}
+
+// TestF32KernelsMatchGoLanes pins the dispatching f32 micro-kernels to
+// the pure-Go lane kernels bitwise across every ISA tier the host
+// supports, over aligned and ragged lengths — the f32 mirror of
+// TestSIMDKernelsMatchGoLanes, with the tiers forced through setF32ISA.
+func TestF32KernelsMatchGoLanes(t *testing.T) {
+	if f32Best == f32Generic {
+		t.Log("no f32 SIMD tier: dispatcher always uses the Go lanes")
+	}
+	tiers := []int32{f32Generic, f32AVX2, f32AVX512}
+	for _, n := range []int{1, 3, 8, 15, 16, 17, 31, 32, 63, 64, 65, 127, 561, 1024, 2000} {
+		a0 := make([]float32, n)
+		a1 := make([]float32, n)
+		rows := NewDense32(4, n)
+		fillPseudo32(a0, 0.1)
+		fillPseudo32(a1, -0.7)
+		fillDense32(rows, 0.3)
+		b0, b1, b2, b3 := rows.Row(0), rows.Row(1), rows.Row(2), rows.Row(3)
+
+		// laneDot32 is the canonical definition every element must equal.
+		want := [8]float32{
+			laneDot32(a0, b0), laneDot32(a0, b1), laneDot32(a0, b2), laneDot32(a0, b3),
+			laneDot32(a1, b0), laneDot32(a1, b1), laneDot32(a1, b2), laneDot32(a1, b3),
+		}
+
+		for _, tier := range tiers {
+			if tier > f32Best {
+				continue
+			}
+			prev := setF32ISA(tier)
+			var t4 [4]float32
+			dotBatch4F32(a0, b0, b1, b2, b3, &t4)
+			for i, got := range t4 {
+				if got != want[i] {
+					setF32ISA(prev)
+					t.Fatalf("n=%d tier=%d dotBatch4F32 lane %d: %g != laneDot32 %g", n, tier, i, got, want[i])
+				}
+			}
+			var t8 [8]float32
+			dot2x4F32(a0, a1, b0, b1, b2, b3, &t8)
+			for i, got := range t8 {
+				if got != want[i] {
+					setF32ISA(prev)
+					t.Fatalf("n=%d tier=%d dot2x4F32 element %d: %g != laneDot32 %g", n, tier, i, got, want[i])
+				}
+			}
+			setF32ISA(prev)
+		}
+
+		s0, s1 := laneDot232(a0, a1, b0)
+		if s0 != want[0] || s1 != want[4] {
+			t.Fatalf("n=%d laneDot232 (%g, %g) != laneDot32 (%g, %g)", n, s0, s1, want[0], want[4])
+		}
+	}
+}
+
+// TestMulTInto32TiersBitIdentical computes full blocked f32 products on
+// every supported ISA tier and requires bit-identical outputs, with every
+// element also reproducible by PanelDot32 — ragged shapes exercise the
+// 2×4 tile, the 1×4 row remainder, the scalar column remainder, and the
+// multi-panel accumulation path.
+func TestMulTInto32TiersBitIdentical(t *testing.T) {
+	shapes := []struct{ n, q, d int }{
+		{1, 1, 1}, {2, 16, 4}, {3, 17, 5}, {8, 64, 12}, {5, 561, 11},
+		{13, 700, 9}, {7, 1030, 6}, {64, 2048, 3}, {9, 3000, 8},
+	}
+	for _, sh := range shapes {
+		a := NewDense32(sh.n, sh.q)
+		b := NewDense32(sh.d, sh.q)
+		fillDense32(a, 0.25)
+		fillDense32(b, -0.5)
+
+		var ref *Dense32
+		for _, tier := range []int32{f32Generic, f32AVX2, f32AVX512} {
+			if tier > f32Best {
+				continue
+			}
+			prev := setF32ISA(tier)
+			dst := NewDense32(sh.n, sh.d)
+			MulTInto32Fused(dst, a, b, nil)
+			setF32ISA(prev)
+			if ref == nil {
+				ref = dst
+				for i := 0; i < sh.n; i++ {
+					for j := 0; j < sh.d; j++ {
+						if got, want := dst.Row(i)[j], PanelDot32(a.paddedRow(i), b.paddedRow(j)); got != want {
+							t.Fatalf("%dx%dx%d element (%d,%d): blocked %g != PanelDot32 %g",
+								sh.n, sh.q, sh.d, i, j, got, want)
+						}
+					}
+				}
+				continue
+			}
+			for i := range dst.Data {
+				if dst.Data[i] != ref.Data[i] {
+					t.Fatalf("%dx%dx%d tier=%d element %d: %g != generic %g",
+						sh.n, sh.q, sh.d, tier, i, dst.Data[i], ref.Data[i])
+				}
+			}
+		}
+	}
+}
+
+// TestMulTInto32FusedPost checks the fused epilogue runs exactly once
+// per row with the finished row contents.
+func TestMulTInto32FusedPost(t *testing.T) {
+	a := NewDense32(11, 37)
+	b := NewDense32(6, 37)
+	fillDense32(a, 0.4)
+	fillDense32(b, 0.9)
+	seen := make([]int, 11)
+	MulTInto32Fused(NewDense32(11, 6), a, b, func(i int, row []float32) {
+		seen[i]++
+		for j := range row {
+			if row[j] != PanelDot32(a.paddedRow(i), b.paddedRow(j)) {
+				t.Errorf("post row %d col %d not finished", i, j)
+			}
+		}
+	})
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("post ran %d times for row %d", c, i)
+		}
+	}
+}
+
+// BenchmarkMulTInto32 measures the f32 projection GEMM at the serving
+// shape (64-row batch, UCIHAR-like 561 features) — the packed tier's
+// answer to BenchmarkMulTInto.
+func BenchmarkMulTInto32(b *testing.B) {
+	for _, d := range []int{256, 2048} {
+		b.Run(benchName32(d), func(b *testing.B) {
+			a := NewDense32(64, 561)
+			bb := NewDense32(d, 561)
+			dst := NewDense32(64, d)
+			fillDense32(a, 0.1)
+			fillDense32(bb, 0.7)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MulTInto32Fused(dst, a, bb, nil)
+			}
+		})
+	}
+}
+
+// benchName32 formats the sub-benchmark name for a dimensionality.
+func benchName32(d int) string {
+	if d == 256 {
+		return "D=256"
+	}
+	return "D=2048"
+}

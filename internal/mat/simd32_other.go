@@ -1,0 +1,47 @@
+//go:build !amd64
+
+package mat
+
+import "sync/atomic"
+
+// Non-amd64 builds run the pure-Go f32 lane kernels in f32.go, which
+// produce bit-identical results to the assembly (fma32 emulates the
+// hardware single-precision FMA exactly); the entry points below exist
+// only to satisfy the dispatch code and are unreachable because
+// detectF32ISA pins the tier to f32Generic.
+
+const (
+	f32Generic int32 = iota
+	f32AVX2
+	f32AVX512
+)
+
+var f32Best = detectF32ISA()
+
+var f32ISA atomic.Int32
+
+func init() { f32ISA.Store(f32Best) }
+
+func setF32ISA(level int32) int32 {
+	if level > f32Best {
+		level = f32Best
+	}
+	return f32ISA.Swap(level)
+}
+
+func detectF32ISA() int32 { return f32Generic }
+
+// f32TailMasks is unused without the assembly kernels.
+var f32TailMasks [240]int32
+
+func dotBatch4F32AVX512(a, b0, b1, b2, b3 *float32, groups, tail int, out *[4]float32) {
+	panic("mat: f32 SIMD kernel on non-amd64 build")
+}
+
+func dot2x4F32AVX512(a0, a1, b0, b1, b2, b3 *float32, groups, tail int, out *[8]float32) {
+	panic("mat: f32 SIMD kernel on non-amd64 build")
+}
+
+func dotBatch4F32AVX2(a, b0, b1, b2, b3 *float32, groups, tail int, masks *[240]int32, out *[4]float32) {
+	panic("mat: f32 SIMD kernel on non-amd64 build")
+}

@@ -7,23 +7,30 @@ import (
 	"io"
 	"math"
 
+	"repro/internal/bitpack"
 	"repro/internal/core"
 	"repro/internal/encoding"
 	"repro/internal/mat"
 	"repro/internal/model"
 )
 
-// Binary model format: a fixed magic, a version byte, the shape header,
-// then the encoder parameters and class hypervectors as little-endian
-// float64s. Only RBF-encoded models are serializable (the linear encoder
-// is provided for ablations, not deployment).
+// Binary model format: a fixed magic, a version word, the shape header,
+// then the encoder parameters and class hypervectors. Version 1 is the
+// f32 format (class weights as little-endian float64s); version 2 is the
+// packed 1-bit format (class sign bits as little-endian uint64 words,
+// ceil(D/64) per class — the payload an edge deployment actually ships).
+// Save picks the version from the model: a quantized model always
+// serializes packed. Only RBF-encoded models are serializable (the
+// linear encoder is provided for ablations, not deployment).
 const (
-	modelMagic   = 0x44485644 // "DVHD"
-	modelVersion = 1
+	modelMagic       = 0x44485644 // "DVHD"
+	modelVersion     = 1
+	modelVersion1Bit = 2
 )
 
 // Save writes the trained model to w in a self-contained binary format
-// readable by Load.
+// readable by Load. Quantized models serialize as the packed 1-bit
+// format (version 2), f32 models as version 1.
 func (m *Model) Save(w io.Writer) error {
 	if m.kind != EncoderRBF {
 		return fmt.Errorf("disthd: only RBF-encoded models can be serialized")
@@ -35,8 +42,12 @@ func (m *Model) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	base, phase, sigma := rbf.Params()
 
+	version := uint32(modelVersion)
+	if m.Quantized() {
+		version = modelVersion1Bit
+	}
 	writeU32 := func(v uint32) error { return binary.Write(bw, binary.LittleEndian, v) }
-	for _, v := range []uint32{modelMagic, modelVersion,
+	for _, v := range []uint32{modelMagic, version,
 		uint32(m.Features()), uint32(m.Dim()), uint32(m.Classes())} {
 		if err := writeU32(v); err != nil {
 			return fmt.Errorf("disthd: save header: %w", err)
@@ -45,10 +56,27 @@ func (m *Model) Save(w io.Writer) error {
 	if err := binary.Write(bw, binary.LittleEndian, sigma); err != nil {
 		return fmt.Errorf("disthd: save sigma: %w", err)
 	}
-	for _, block := range [][]float64{base.Data, phase, m.clf.Model.Weights.Data} {
+	for _, block := range [][]float64{base.Data, phase} {
 		if err := writeFloats(bw, block); err != nil {
 			return fmt.Errorf("disthd: save payload: %w", err)
 		}
+	}
+	if m.Quantized() {
+		words := (m.Dim() + 63) / 64
+		buf := make([]byte, 8)
+		for c := 0; c < m.Classes(); c++ {
+			row := m.packed.Row(c)
+			for j := 0; j < words; j++ {
+				binary.LittleEndian.PutUint64(buf, row[j])
+				if _, err := bw.Write(buf); err != nil {
+					return fmt.Errorf("disthd: save packed classes: %w", err)
+				}
+			}
+		}
+		return bw.Flush()
+	}
+	if err := writeFloats(bw, m.clf.Model.Weights.Data); err != nil {
+		return fmt.Errorf("disthd: save payload: %w", err)
 	}
 	return bw.Flush()
 }
@@ -91,7 +119,7 @@ func Load(r io.Reader) (*Model, error) {
 	if hdr[0] != modelMagic {
 		return nil, fmt.Errorf("disthd: bad magic 0x%x (not a DistHD model)", hdr[0])
 	}
-	if hdr[1] != modelVersion {
+	if hdr[1] != modelVersion && hdr[1] != modelVersion1Bit {
 		return nil, fmt.Errorf("disthd: unsupported model version %d", hdr[1])
 	}
 	features, dim, classes := int(hdr[2]), int(hdr[3]), int(hdr[4])
@@ -105,8 +133,7 @@ func Load(r io.Reader) (*Model, error) {
 
 	base := mat.New(dim, features)
 	phase := make([]float64, dim)
-	weights := make([]float64, classes*dim)
-	for _, block := range [][]float64{base.Data, phase, weights} {
+	for _, block := range [][]float64{base.Data, phase} {
 		if err := readFloats(br, block); err != nil {
 			return nil, fmt.Errorf("disthd: load payload: %w", err)
 		}
@@ -117,13 +144,53 @@ func Load(r io.Reader) (*Model, error) {
 		return nil, err
 	}
 	mdl := model.New(classes, dim)
-	copy(mdl.Weights.Data, weights)
-	mdl.RefreshNorms()
-
 	cfg := core.DefaultConfig()
 	cfg.Dim = dim
-	return &Model{
+	out := &Model{
 		clf:  &core.Classifier{Enc: enc, Model: mdl, Cfg: cfg},
 		kind: EncoderRBF,
-	}, nil
+	}
+
+	if hdr[1] == modelVersion1Bit {
+		// Packed payload: ceil(D/64) sign words per class. The float
+		// weights are reconstructed as ±1 so introspection views
+		// (ClassHypervector, DimensionSaliency) stay meaningful; serving
+		// runs on the packed bits.
+		words := (dim + 63) / 64
+		packed := bitpack.NewMatrix(classes, dim)
+		buf := make([]byte, 8)
+		for c := 0; c < classes; c++ {
+			row := packed.Row(c)
+			for j := 0; j < words; j++ {
+				if _, err := io.ReadFull(br, buf); err != nil {
+					return nil, fmt.Errorf("disthd: load packed classes: %w", err)
+				}
+				row[j] = binary.LittleEndian.Uint64(buf)
+			}
+			if rem := dim % 64; rem != 0 {
+				if tail := row[words-1] >> uint(rem); tail != 0 {
+					return nil, fmt.Errorf("disthd: corrupt packed class %d (trailing bits set)", c)
+				}
+			}
+			w := mdl.Weights.Row(c)
+			for d := 0; d < dim; d++ {
+				if packed.Bit(c, d) {
+					w[d] = 1
+				} else {
+					w[d] = -1
+				}
+			}
+		}
+		mdl.RefreshNorms()
+		out.packed = packed
+		return out, nil
+	}
+
+	weights := make([]float64, classes*dim)
+	if err := readFloats(br, weights); err != nil {
+		return nil, fmt.Errorf("disthd: load payload: %w", err)
+	}
+	copy(mdl.Weights.Data, weights)
+	mdl.RefreshNorms()
+	return out, nil
 }

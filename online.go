@@ -89,6 +89,9 @@ func (c RetrainConfig) ScaleForSeverity(severity, threshold float64) RetrainConf
 // shape, which is exactly the Swapper's compatibility contract).
 func (m *Model) Retrain(X [][]float64, y []int, cfg RetrainConfig) (*Model, error) {
 	cfg = cfg.withDefaults()
+	if m.Quantized() {
+		return nil, fmt.Errorf("disthd: quantized model is frozen; retrain the f32 champion and re-quantize")
+	}
 	if len(X) == 0 {
 		return nil, fmt.Errorf("disthd: empty retrain window")
 	}

@@ -3,6 +3,8 @@ package disthd
 import (
 	"fmt"
 
+	"repro/internal/bitpack"
+	"repro/internal/encoding"
 	"repro/internal/mat"
 )
 
@@ -17,6 +19,12 @@ import (
 // exactly the compatibility contract serve.Swapper enforces for hot swaps.
 // That is what makes an in-flight model swap free: the worker keeps its
 // scratch and only the *Model pointer it passes to PredictBatch changes.
+// The scratch always includes the packed tier's buffers (query sign bits
+// and integer agreement scores), so swapping between an f32 champion and
+// a 1-bit quantized successor of the same shape is equally free; the only
+// per-swap cost is rebinding the packed encoder wrapper the first time a
+// new quantized model is served (one small allocation, off the steady
+// state).
 //
 // A Replica must not be shared across goroutines; give each worker its own.
 type Replica struct {
@@ -24,6 +32,21 @@ type Replica struct {
 	maxBatch               int
 	x, h, s                mat.Dense // views over the leased arena
 	xbuf, hbuf, sbuf       []float64
+
+	// Packed-tier scratch: the packed projection runs in float32 (x32
+	// holds the lowered inputs, z32 the raw projections; both are padded
+	// views over f32buf with zero padding the kernels rely on), qm holds
+	// the packed query bits of a chunk (qview is the live sub-view handed
+	// to the kernels), iscores the integer agreement scores. penc is the
+	// packed encoder wrapper bound to pencSrc, rebuilt only when the
+	// served model's encoder changes.
+	x32, z32 mat.Dense32
+	f32buf   []float32
+	qm       *bitpack.Matrix
+	qview    bitpack.Matrix
+	iscores  []int32
+	penc     *encoding.PackedRBF
+	pencSrc  encoding.Encoder
 }
 
 // NewReplica builds an inference context sized for batches of up to
@@ -34,12 +57,29 @@ func (m *Model) NewReplica(maxBatch int) (*Replica, error) {
 	}
 	q, d, k := m.Features(), m.Dim(), m.Classes()
 	lease := mat.NewLease(maxBatch * (q + d + k))
+	qs, ds := mat.Stride32(q), mat.Stride32(d)
 	r := &Replica{
 		features: q, dim: d, classes: k,
 		maxBatch: maxBatch,
 		xbuf:     lease.Floats(maxBatch * q),
 		hbuf:     lease.Floats(maxBatch * d),
 		sbuf:     lease.Floats(maxBatch * k),
+		f32buf:   make([]float32, maxBatch*(qs+ds)),
+		qm:       bitpack.NewMatrix(maxBatch, d),
+		iscores:  make([]int32, maxBatch*k),
+	}
+	r.x32 = *mat.View32(maxBatch, q, r.f32buf[:maxBatch*qs])
+	r.z32 = *mat.View32(maxBatch, d, r.f32buf[maxBatch*qs:])
+	r.qview = *r.qm
+	// Bind the packed encoder up front for a quantized model so the first
+	// request doesn't pay the one-time wrapper + f32 base cache build;
+	// predictChunk rebinds lazily after a hot swap changes the encoder.
+	if m.Quantized() {
+		p, err := encoding.NewPackedRBF(m.clf.Enc)
+		if err != nil {
+			return nil, fmt.Errorf("disthd: quantized model without RBF encoder: %w", err)
+		}
+		r.penc, r.pencSrc = p, m.clf.Enc
 	}
 	return r, nil
 }
@@ -49,16 +89,18 @@ func (m *Model) NewReplica(maxBatch int) (*Replica, error) {
 func (r *Replica) MaxBatch() int { return r.maxBatch }
 
 // Compatible reports whether the replica's scratch fits m — same feature
-// width, hypervector dimensionality and class count.
+// width, hypervector dimensionality and class count. Quantized and f32
+// models of the same shape are equally compatible.
 func (r *Replica) Compatible(m *Model) bool {
 	return m.Features() == r.features && m.Dim() == r.dim && m.Classes() == r.classes
 }
 
 // PredictBatch classifies rows through m into out (len(out) >= len(rows)),
 // running the zero-allocation EncodeBatchInto → PredictBatchInto kernel
-// path over the replica's leased scratch. Inputs longer than MaxBatch are
-// processed in MaxBatch-sized chunks. It returns the number of rows
-// written, which is len(rows) on success.
+// path over the replica's leased scratch — or, for a quantized model, the
+// packed encode → XOR+popcount path over the packed scratch. Inputs longer
+// than MaxBatch are processed in MaxBatch-sized chunks. It returns the
+// number of rows written, which is len(rows) on success.
 func (r *Replica) PredictBatch(m *Model, rows [][]float64, out []int) (int, error) {
 	if !r.Compatible(m) {
 		return 0, fmt.Errorf("disthd: replica shaped %d/%d/%d cannot serve model shaped %d/%d/%d",
@@ -87,12 +129,38 @@ func (r *Replica) PredictBatch(m *Model, rows [][]float64, out []int) (int, erro
 // predictChunk runs one ≤ maxBatch kernel pass. Rows are pre-validated.
 func (r *Replica) predictChunk(m *Model, rows [][]float64, out []int) {
 	n := len(rows)
+	if m.Quantized() {
+		if r.pencSrc != m.clf.Enc {
+			p, err := encoding.NewPackedRBF(m.clf.Enc)
+			if err != nil {
+				// Unreachable: Quantize1Bit and the packed loader only
+				// produce RBF-encoded models.
+				panic(fmt.Sprintf("disthd: quantized model without RBF encoder: %v", err))
+			}
+			r.penc, r.pencSrc = p, m.clf.Enc
+		}
+		// The packed projection runs in float32: lower the rows straight
+		// into the padded f32 scratch (writing only the logical columns
+		// keeps the zero padding the kernels run over).
+		r.x32.Rows, r.z32.Rows = n, n
+		for i, row := range rows {
+			x32 := r.x32.Row(i)
+			for j, v := range row {
+				x32[j] = float32(v)
+			}
+		}
+		r.qview.Rows = n
+		r.penc.EncodeBatchPackedInto(&r.x32, &r.z32, &r.qview)
+		r.x32.Rows, r.z32.Rows = r.maxBatch, r.maxBatch
+		bitpack.PredictBatchInto(m.packed, &r.qview, r.iscores[:n*r.classes], out)
+		return
+	}
 	r.x = mat.Dense{Rows: n, Cols: r.features, Data: r.xbuf[:n*r.features]}
 	r.h = mat.Dense{Rows: n, Cols: r.dim, Data: r.hbuf[:n*r.dim]}
-	r.s = mat.Dense{Rows: n, Cols: r.classes, Data: r.sbuf[:n*r.classes]}
 	for i, row := range rows {
 		copy(r.x.Row(i), row)
 	}
+	r.s = mat.Dense{Rows: n, Cols: r.classes, Data: r.sbuf[:n*r.classes]}
 	m.clf.Enc.EncodeBatchInto(&r.x, &r.h)
 	m.clf.Model.PredictBatchInto(&r.h, &r.s, out)
 }

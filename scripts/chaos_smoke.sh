@@ -34,10 +34,16 @@ cleanup() {
 }
 trap cleanup EXIT INT TERM
 
+# A compile error must name itself, not surface later as a confusing
+# "coordinator never came up" — so each build is guarded individually
+# rather than left to set -e.
 echo "chaos-smoke: building binaries..."
-$GO build -o "$TMP/disthd-serve" ./cmd/disthd-serve
-$GO build -o "$TMP/disthd-cluster" ./cmd/disthd-cluster
-$GO build -o "$TMP/hdbench" ./cmd/hdbench
+for pkg in disthd-serve disthd-cluster hdbench; do
+    if ! $GO build -o "$TMP/$pkg" "./cmd/$pkg"; then
+        echo "chaos-smoke: FAILED to build ./cmd/$pkg — fix the compile error above" >&2
+        exit 1
+    fi
+done
 
 DEMO="-demo PAMAP2 -dim 128 -scale 0.05 -seed 42"
 

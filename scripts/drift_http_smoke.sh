@@ -23,9 +23,16 @@ cleanup() {
 }
 trap cleanup EXIT INT TERM
 
+# A compile error must name itself, not surface later as a confusing
+# readiness timeout — so each build is guarded individually rather than
+# left to set -e.
 echo "drift-http-smoke: building binaries..."
-$GO build -o "$TMP/disthd-serve" ./cmd/disthd-serve
-$GO build -o "$TMP/hdbench" ./cmd/hdbench
+for pkg in disthd-serve hdbench; do
+    if ! $GO build -o "$TMP/$pkg" "./cmd/$pkg"; then
+        echo "drift-http-smoke: FAILED to build ./cmd/$pkg — fix the compile error above" >&2
+        exit 1
+    fi
+done
 
 echo "drift-http-smoke: starting disthd-serve on $ADDR..."
 "$TMP/disthd-serve" -addr "$ADDR" -demo PAMAP2 -dim 128 -scale 0.05 \

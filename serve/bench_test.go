@@ -117,6 +117,50 @@ func BenchmarkServeBatched(b *testing.B) {
 	}
 }
 
+// BenchmarkServeQuantizedBatch is the f32-vs-1bit comparison behind the
+// PERF.md quantization table: the same 64-row /predict_batch workload
+// through the Replica batch kernel — exactly what Batcher.PredictBatch
+// runs per call — once on the float champion and once on its
+// sign-quantized successor. Both tiers must report 0 allocs/op (the
+// replica leases all scratch up front, packed included), and the 1-bit
+// tier must deliver the XOR+popcount speedup that justifies the gate's
+// tolerated accuracy loss; the gap widens with D as the batched GEMM's
+// f32 traffic grows 32× faster than the packed words.
+func BenchmarkServeQuantizedBatch(b *testing.B) {
+	for _, dim := range []int{1024, 2048, 4096} {
+		s := benchFixtures(b, dim)
+		q, err := s.m.Quantize1Bit()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := s.rows
+		if len(rows) > 64 {
+			rows = rows[:64]
+		}
+		for _, tier := range []struct {
+			name string
+			m    *disthd.Model
+		}{{"f32", s.m}, {"1bit", q}} {
+			b.Run(fmt.Sprintf("D=%d/%s", dim, tier.name), func(b *testing.B) {
+				rep, err := tier.m.NewReplica(64)
+				if err != nil {
+					b.Fatal(err)
+				}
+				out := make([]int, len(rows))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := rep.PredictBatch(tier.m, rows, out); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(len(rows))*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+			})
+		}
+	}
+}
+
 // minFill picks the linger threshold for a concurrency level: wait for
 // half the closed-loop population, so the worker cannot starve itself by
 // draining before the clients are rescheduled.

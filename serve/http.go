@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	disthd "repro"
@@ -36,13 +38,21 @@ const (
 //	POST /swap           <Model.Save bytes>     -> {"swaps":2}
 //	POST /learn          {"x":[...],"label":3}  -> serve.FeedResult JSON
 //	POST /retrain[?force=1]                     -> {"started":true,...}
+//	POST /quantize[?force=1&margin=-0.02]       -> {"published":true,...}
 //
 // /learn and /retrain are live only after AttachLearner; without a learner
 // they return 404. A /retrain challenger answers to the champion/challenger
 // gate like any drift-triggered one; ?force=1 publishes it regardless of
-// the verdict. Prediction errors map to 400 (malformed input), 409 (/swap
-// shape mismatch, /retrain already in flight), 413 (request body over the
-// documented bound) or 503 (closed batcher). The server is hardened
+// the verdict. /quantize deploys the 1-bit packed tier: the serving f32
+// champion is sign-quantized and, when a learner holds holdout evidence,
+// judged through the same gate (tolerating up to -margin accuracy
+// regression) before publishing; a rejected quantization leaves the f32
+// champion serving and answers 409 with the losing verdict. /model serves
+// the champion's wire format and negotiates it via ?format=1bit|f32 (the
+// X-DistHD-Format response header names what was sent). Prediction errors
+// map to 400 (malformed input), 409 (/swap shape mismatch, /retrain
+// already in flight or frozen champion, /quantize rejected), 413 (request
+// body over the documented bound) or 503 (closed batcher). The server is hardened
 // against misbehaving clients: header/read/idle timeouts on the
 // http.Server and an http.MaxBytesReader around every POST body.
 // /healthz reports "degraded" (with reasons; 503 under SetStrictHealth)
@@ -55,6 +65,14 @@ type Server struct {
 	mux          *http.ServeMux
 	hs           *http.Server
 	strictHealth bool
+
+	// Quantization gauges (/stats "quantization" block). They live here
+	// rather than on Stats because /quantize is a rare operator action —
+	// no hot-path counters needed.
+	quantPublishes atomic.Uint64
+	quantRejects   atomic.Uint64
+	quantLastGate  atomic.Pointer[GateResult]
+	quantMu        sync.Mutex // serializes handleQuantize's read-gate-swap
 }
 
 // NewServer wraps an existing Batcher. The caller keeps ownership of the
@@ -70,6 +88,7 @@ func NewServer(b *Batcher) *Server {
 	s.mux.HandleFunc("POST /swap", s.handleSwap)
 	s.mux.HandleFunc("POST /learn", s.handleLearn)
 	s.mux.HandleFunc("POST /retrain", s.handleRetrain)
+	s.mux.HandleFunc("POST /quantize", s.handleQuantize)
 	// The http.Server is created here, not in ListenAndServe, so Close
 	// never races the assignment: Shutdown on a never-started server is a
 	// no-op and a subsequent ListenAndServe returns ErrServerClosed. The
@@ -242,30 +261,143 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // handleModel exports the serving model as a Model.Save snapshot — the
 // same versioned binary format /swap accepts, so a cluster coordinator
 // can pull shard models for the federated merge loop (and any exported
-// snapshot can be re-imported bitwise). The snapshot is buffered first so
-// the response carries a Content-Length and a serialization error can
-// still become a clean status (409 for a model whose encoder family has
-// no wire format).
+// snapshot can be re-imported bitwise). ?format negotiates the wire
+// format: "1bit" exports the packed payload (sign-quantizing an f32
+// champion on the fly, ungated — an export is not a publication),
+// "f32" demands the float payload (409 when only packed bits exist:
+// sign quantization is not invertible), and the default ships whatever
+// is serving. The X-DistHD-Format header names the format actually sent.
+// The snapshot is buffered first so the response carries a Content-Length
+// and a serialization error can still become a clean status (409 for a
+// model whose encoder family has no wire format).
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	m := s.b.Model()
+	switch r.URL.Query().Get("format") {
+	case "", "current":
+	case "1bit":
+		if !m.Quantized() {
+			q, err := m.Quantize1Bit()
+			if err != nil {
+				writeError(w, http.StatusConflict, err)
+				return
+			}
+			m = q
+		}
+	case "f32":
+		if m.Quantized() {
+			writeError(w, http.StatusConflict,
+				errors.New("serve: serving model is 1-bit quantized; the f32 weights are gone (quantization is one-way)"))
+			return
+		}
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("serve: unknown model format %q (want 1bit or f32)", r.URL.Query().Get("format")))
+		return
+	}
 	var buf bytes.Buffer
-	if err := s.b.Model().Save(&buf); err != nil {
+	if err := m.Save(&buf); err != nil {
 		writeError(w, http.StatusConflict, err)
 		return
 	}
+	format := "f32"
+	if m.Quantized() {
+		format = "1bit"
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.Header().Set("X-DistHD-Format", format)
 	_, _ = w.Write(buf.Bytes())
 }
 
 // handleStats reports the serving counters, with the learner gauges folded
-// in when online learning is attached.
+// in when online learning is attached and the quantization gauges always.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := s.b.Stats()
 	if s.learner != nil {
 		ls := s.learner.Snapshot()
 		snap.Learner = &ls
 	}
+	snap.Quantization = &QuantizationStats{
+		Active:    s.b.Model().Quantized(),
+		Publishes: s.quantPublishes.Load(),
+		Rejects:   s.quantRejects.Load(),
+		LastGate:  s.quantLastGate.Load(),
+	}
 	writeJSON(w, http.StatusOK, snap)
+}
+
+// defaultQuantizeMargin is the accuracy regression /quantize tolerates by
+// default: the 1-bit tier may lose up to 2 points of holdout accuracy
+// against the f32 champion and still publish — it buys a multiple of the
+// batch throughput for it. ?margin= overrides per request.
+const defaultQuantizeMargin = -0.02
+
+// handleQuantize sign-quantizes the serving f32 champion to the packed
+// 1-bit tier and publishes it through the Swapper. With a learner attached
+// the quantized challenger must first clear the champion/challenger gate
+// on the learner's holdout slice, tolerating margin (default -0.02) of
+// regression; a losing verdict answers 409 with {"published":false} and
+// the full gate evaluation, and the f32 champion keeps serving. ?force=1
+// publishes regardless of the verdict (still measured and reported).
+// Quantizing an already-quantized champion answers 409.
+func (s *Server) handleQuantize(w http.ResponseWriter, r *http.Request) {
+	force := false
+	switch r.URL.Query().Get("force") {
+	case "1", "true":
+		force = true
+	}
+	margin := defaultQuantizeMargin
+	if mq := r.URL.Query().Get("margin"); mq != "" {
+		v, err := strconv.ParseFloat(mq, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad margin %q: %w", mq, err))
+			return
+		}
+		margin = v
+	}
+	// One quantization at a time: the gate evaluation is seconds of work
+	// and the read-judge-swap sequence must not interleave with itself.
+	s.quantMu.Lock()
+	defer s.quantMu.Unlock()
+	cur := s.b.Model()
+	if cur.Quantized() {
+		writeError(w, http.StatusConflict, errors.New("serve: serving model is already 1-bit quantized"))
+		return
+	}
+	q, err := cur.Quantize1Bit()
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	var gate *GateResult
+	if s.learner != nil {
+		gate, err = s.learner.GateQuantized(cur, q, margin)
+		if err != nil {
+			writeError(w, http.StatusConflict, err)
+			return
+		}
+		gate.Forced = force
+		if !gate.Passed && !force {
+			s.quantRejects.Add(1)
+			s.quantLastGate.Store(gate)
+			writeJSON(w, http.StatusConflict, map[string]any{"published": false, "gate": gate})
+			return
+		}
+	}
+	if err := s.b.Swap(q); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	s.quantPublishes.Add(1)
+	if gate != nil {
+		gate.Published = true
+		s.quantLastGate.Store(gate)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"published": true,
+		"swaps":     s.b.Swapper().Swaps(),
+		"gate":      gate,
+	})
 }
 
 // learnRequest is the /learn body: one labeled feedback sample.
@@ -295,10 +427,12 @@ func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleRetrain starts a background retrain on the attached learner: 202
-// when one starts, 409 when one is already in flight or the window is still
-// too small. The challenger still answers to the champion/challenger gate;
-// ?force=1 publishes it regardless of the verdict. The response returns
-// immediately; poll /stats for the gate outcome and completion.
+// when one starts, 409 when one is already in flight, the window is still
+// too small, or the serving champion is 1-bit quantized (frozen — swap
+// the f32 model back in first). The challenger still answers to the
+// champion/challenger gate; ?force=1 publishes it regardless of the
+// verdict. The response returns immediately; poll /stats for the gate
+// outcome and completion.
 func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
 	if s.learner == nil {
 		writeError(w, http.StatusNotFound, errNoLearner)

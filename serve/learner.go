@@ -230,6 +230,13 @@ func (l *Learner) startAutoRetrain() bool {
 	if l.inRejectionBackoff() {
 		return false
 	}
+	// A quantized champion is frozen: retraining it is an error by
+	// construction (disthd.Model.Retrain refuses), so a drift flag while
+	// the 1-bit tier serves must not burn the retrain slot. The operator
+	// swaps the f32 champion back in (or retrains it out of band) first.
+	if l.sw.Current().Quantized() {
+		return false
+	}
 	now := time.Now().UnixNano()
 	if now-l.lastAuto.Load() < l.opts.Cooldown.Nanoseconds() {
 		return false
@@ -247,6 +254,9 @@ func (l *Learner) startAutoRetrain() bool {
 // challenger even when the gate's verdict is reject — the operator's
 // escape hatch (/retrain?force=1) for when the holdout itself is suspect.
 func (l *Learner) Retrain(force bool) (started bool, err error) {
+	if l.sw.Current().Quantized() {
+		return false, fmt.Errorf("serve: the serving model is 1-bit quantized and frozen; swap the f32 champion back in to retrain")
+	}
 	l.mu.Lock()
 	n := l.ol.WindowLen()
 	l.mu.Unlock()
@@ -254,6 +264,30 @@ func (l *Learner) Retrain(force bool) (started bool, err error) {
 		return false, fmt.Errorf("serve: retrain window holds %d samples, need %d", n, l.opts.MinRetrain)
 	}
 	return l.startRetrain(force), nil
+}
+
+// GateQuantized judges a 1-bit quantized challenger against the f32
+// champion on the learner's current holdout slice, tolerating up to
+// -margin of accuracy regression (quantization trades a little accuracy
+// for a large throughput win, so the natural margin is slightly negative;
+// a retrain gate would demand ≥ 0). The verdict is advisory: the caller
+// (Server.handleQuantize) decides whether to publish. An empty holdout
+// publishes by default — there is then no evidence to reject on.
+func (l *Learner) GateQuantized(champion, challenger *disthd.Model, margin float64) (*GateResult, error) {
+	l.mu.Lock()
+	_, _, holdX, holdY := l.ol.SplitWindow()
+	l.mu.Unlock()
+	v, err := disthd.NewGate(disthd.GateConfig{MinMargin: margin}).Evaluate(champion, challenger, holdX, holdY)
+	if err != nil {
+		return nil, err
+	}
+	return &GateResult{
+		Passed:             v.Publish,
+		ChampionAccuracy:   v.ChampionAccuracy,
+		ChallengerAccuracy: v.ChallengerAccuracy,
+		Margin:             v.Margin,
+		HoldoutSize:        v.HoldoutSize,
+	}, nil
 }
 
 // startRetrain claims the single retrain slot and launches the worker.

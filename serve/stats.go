@@ -142,6 +142,25 @@ type GateResult struct {
 	HoldoutSize int `json:"holdout_size"`
 }
 
+// QuantizationStats reports the 1-bit serving tier's state: whether the
+// model serving right now is quantized, and how the /quantize endpoint's
+// publications have gone. Server.handleStats fills it; the counters live
+// on the Server because quantization is an operator action, not a hot-path
+// event.
+type QuantizationStats struct {
+	// Active is whether the currently serving model is 1-bit quantized.
+	Active bool `json:"active"`
+	// Publishes counts quantized successors that went live through
+	// /quantize (forced ones included).
+	Publishes uint64 `json:"publishes"`
+	// Rejects counts quantized challengers the gate turned away; the f32
+	// champion kept serving through each.
+	Rejects uint64 `json:"rejects"`
+	// LastGate is the most recent quantization gate evaluation, whatever
+	// its outcome (nil before the first gated /quantize).
+	LastGate *GateResult `json:"last_gate,omitempty"`
+}
+
 // Snapshot is a point-in-time copy of the serving counters, shaped for
 // JSON (`GET /stats` returns exactly this struct).
 type Snapshot struct {
@@ -179,6 +198,9 @@ type Snapshot struct {
 	// to the server, nil otherwise. Stats itself does not track the
 	// learner; Server.handleStats fills this.
 	Learner *LearnerSnapshot `json:"learner,omitempty"`
+	// Quantization holds the 1-bit tier gauges. Stats itself does not
+	// track quantization; Server.handleStats fills this.
+	Quantization *QuantizationStats `json:"quantization,omitempty"`
 }
 
 // Snapshot returns the current counters. It is safe to call while traffic
