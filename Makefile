@@ -8,9 +8,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet doc-check build test race bench-smoke fuzz-smoke bench-compare drift-smoke drift-http-smoke chaos-smoke bench bench-kernels bench-serve bench-drift bench-cluster
+.PHONY: ci fmt-check vet doc-check build test race bench-smoke fuzz-smoke bench-compare drift-smoke drift-http-smoke chaos-smoke wire-smoke bench bench-kernels bench-serve bench-drift bench-cluster
 
-ci: fmt-check vet doc-check build race bench-smoke fuzz-smoke bench-compare drift-smoke drift-http-smoke chaos-smoke
+ci: fmt-check vet doc-check build race bench-smoke fuzz-smoke bench-compare drift-smoke drift-http-smoke chaos-smoke wire-smoke
 
 # gofmt must be a no-op across the tree.
 fmt-check:
@@ -23,7 +23,7 @@ vet:
 # The public surface (root package, serve, and serve/cluster) must not
 # export an undocumented identifier.
 doc-check:
-	$(GO) run ./cmd/doccheck . ./serve ./serve/cluster
+	$(GO) run ./cmd/doccheck . ./serve ./serve/cluster ./serve/wire
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,7 @@ bench-smoke:
 fuzz-smoke:
 	$(GO) test -run 'FuzzFeedbackWindow' .
 	$(GO) test -run 'FuzzBitpackRoundTrip' ./internal/bitpack
+	$(GO) test -run 'FuzzWireFrame' ./serve/wire
 
 # The perf-regression gate: re-measure the SIMD-critical kernel benchmarks
 # (bitpack score/pack, mat GEMM/dot) and fail if any regressed past the
@@ -63,8 +64,10 @@ bench-compare:
 		-benchtime 50ms -count 5 > bench/current.txt
 	@$(GO) test ./internal/mat -run xxx -bench 'BenchmarkMulTInto|BenchmarkDotBatch' \
 		-benchtime 50ms -count 5 >> bench/current.txt
+	@$(GO) test ./serve/cluster -run xxx -bench 'BenchmarkDirectWorker|BenchmarkCoordinator' \
+		-benchtime 50ms -count 5 >> bench/current.txt
 	$(GO) run ./cmd/benchcompare -baseline bench/baseline.txt -threshold 1.50 \
-		-json BENCH_PR6.json bench/current.txt
+		-json BENCH_PR8.json bench/current.txt
 
 # One CI-sized pass of the streaming drift benchmark, so the closed-loop
 # learner harness cannot rot.
@@ -83,6 +86,13 @@ drift-http-smoke:
 chaos-smoke:
 	sh scripts/chaos_smoke.sh
 
+# The binary frame protocol end to end at the process level: a live
+# disthd-serve driven by `hdbench -loadgen -http ... -wire binary` (and a
+# JSON pass for comparison), per-format /stats counters checked, clean
+# SIGTERM drain asserted.
+wire-smoke:
+	sh scripts/wire_smoke.sh
+
 # The kernel and end-to-end benchmarks behind PERF.md, with allocation
 # reporting and enough repetitions for benchstat.
 bench:
@@ -97,7 +107,7 @@ bench-kernels:
 # The serving table of PERF.md: per-request Predict vs the micro-batching
 # Batcher across dimensionality and concurrency.
 bench-serve:
-	$(GO) test ./serve -run xxx -bench 'Serve(PerRequest|Batched)' \
+	$(GO) test ./serve -run xxx -bench 'Serve(PerRequest|Batched)|WireHandlerBatch' \
 		-benchtime 2s -count 3
 
 # The streaming table of PERF.md: windowed accuracy of the frozen model vs

@@ -35,12 +35,17 @@
 // challenger never serves.
 //
 // Endpoints: POST /predict, POST /predict_batch, GET /healthz, GET /stats,
-// GET /model, POST /swap, POST /learn, POST /retrain. /healthz tells the
+// GET /model, POST /swap, POST /learn, POST /retrain. /predict,
+// /predict_batch, and /learn speak JSON by default and the compact binary
+// frame protocol (repro/serve/wire) when the request's Content-Type is
+// application/x-disthd-frame — the response mirrors the request's format,
+// and /stats counts requests per format; try it with
+// `hdbench -loadgen -http <addr> -wire binary`. /healthz tells the
 // truth: it reports "degraded" (503 with -strict-health) while the learner
 // is in post-rejection backoff or a retrain is wedged past -stall-deadline,
 // and GET /model exports the serving model in the /swap wire format — the
 // two hooks a cluster coordinator (cmd/disthd-cluster) builds on. See the
-// serve package for the wire format, `hdbench -loadgen` for the
+// serve package for the wire formats, `hdbench -loadgen` for the
 // closed-loop load generator, `hdbench -driftgen` for the streaming drift
 // benchmark, and `hdbench -chaos` for the fault-injection load harness.
 package main
@@ -164,7 +169,7 @@ func main() {
 		log.Fatalf("disthd-serve: %v", err)
 	}
 	<-drained
-	log.Printf("bye: %+v", srv.Batcher().Stats())
+	log.Printf("bye: %+v", srv.Stats())
 }
 
 // loadModel reads a snapshot from disk or trains a demo model. For -demo

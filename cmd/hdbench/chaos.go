@@ -1,9 +1,7 @@
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -28,6 +26,7 @@ type chaosOptions struct {
 	concurrency int
 	duration    time.Duration
 	httpTarget  string // non-empty: drive an external coordinator instead
+	wire        string // wire format: client->coordinator in external mode, coordinator->worker in self-contained mode
 }
 
 // chaosBatch is the rows-per-request size the harness sends.
@@ -153,9 +152,12 @@ func chaosSelfContained(o chaosOptions, test disthd.DataSplit, w io.Writer) erro
 		}
 	}()
 
+	tr := cluster.NewHTTPTransport()
+	tr.Wire = o.wire
 	c, err := cluster.New(cluster.Config{
 		Workers:     addrs,
 		Quorum:      2,
+		Transport:   tr,
 		CallTimeout: 250 * time.Millisecond,
 		Retry: cluster.RetryConfig{
 			MaxAttempts: 3,
@@ -172,8 +174,8 @@ func chaosSelfContained(o chaosOptions, test disthd.DataSplit, w io.Writer) erro
 	}
 	defer c.Close()
 
-	fmt.Fprintf(w, "chaos: %d clients x %v against %d workers (kill w0 at 1/3, stall w1 at 2/3)\n",
-		o.concurrency, o.duration, workers)
+	fmt.Fprintf(w, "chaos: %d clients x %v against %d workers over %s wire (kill w0 at 1/3, stall w1 at 2/3)\n",
+		o.concurrency, o.duration, workers, o.wire)
 
 	var tally chaosTally
 	deadline := time.Now().Add(o.duration)
@@ -243,7 +245,7 @@ func chaosExternal(o chaosOptions, test disthd.DataSplit, w io.Writer) error {
 	if err := waitReady(client, base); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "chaos: %d clients x %v against %s\n", o.concurrency, o.duration, base)
+	fmt.Fprintf(w, "chaos: %d clients x %v against %s over %s wire\n", o.concurrency, o.duration, base, o.wire)
 
 	var tally chaosTally
 	deadline := time.Now().Add(o.duration)
@@ -257,25 +259,10 @@ func chaosExternal(o chaosOptions, test disthd.DataSplit, w io.Writer) error {
 				for j := range rows {
 					rows[j] = test.X[(cl+i*o.concurrency+j)%len(test.X)]
 				}
-				payload, err := json.Marshal(map[string][][]float64{"x": rows})
-				if err != nil {
-					tally.add(0, len(rows), err)
-					continue
-				}
 				start := time.Now()
-				resp, err := client.Post(base+"/predict_batch", "application/json", bytes.NewReader(payload))
-				if err == nil {
-					var out struct {
-						Classes []int `json:"classes"`
-					}
-					err = json.NewDecoder(resp.Body).Decode(&out)
-					resp.Body.Close()
-					switch {
-					case err == nil && resp.StatusCode != http.StatusOK:
-						err = fmt.Errorf("status %d", resp.StatusCode)
-					case err == nil && len(out.Classes) != len(rows):
-						err = fmt.Errorf("answered %d classes for %d rows", len(out.Classes), len(rows))
-					}
+				classes, err := postBatch(client, base, o.wire, rows)
+				if err == nil && len(classes) != len(rows) {
+					err = fmt.Errorf("answered %d classes for %d rows", len(classes), len(rows))
 				}
 				tally.add(time.Since(start), len(rows), err)
 			}

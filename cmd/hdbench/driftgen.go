@@ -30,6 +30,7 @@ type driftgenOptions struct {
 	retrainIters int
 	trainIters   int
 	httpTarget   string
+	wire         string // wire format for the live target: json or binary
 	quantize     bool
 	quick        bool
 }

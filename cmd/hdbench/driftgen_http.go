@@ -16,22 +16,26 @@ import (
 
 // driftHTTP drives a live disthd-serve process over its HTTP surface — the
 // transport behind `hdbench -driftgen -http addr`. The client only speaks
-// the public wire format (/healthz, /swap, /predict_batch, /learn, /stats),
-// so what it measures is the whole deployed stack: JSON codec, micro-batch
-// coalescing, the learner behind /learn, and the champion/challenger gate.
+// the public wire formats (/healthz, /swap, /predict_batch, /learn,
+// /stats) — JSON or, with -wire binary, the frame protocol on the predict
+// and learn hops — so what it measures is the whole deployed stack: wire
+// codec, micro-batch coalescing, the learner behind /learn, and the
+// champion/challenger gate.
 type driftHTTP struct {
 	base string
+	wire string
 	hc   *http.Client
 }
 
 // newDriftHTTP normalizes the target ("host:port" or a full URL) into a
 // base URL.
-func newDriftHTTP(target string) *driftHTTP {
+func newDriftHTTP(target, wireFmt string) *driftHTTP {
 	if !strings.Contains(target, "://") {
 		target = "http://" + target
 	}
 	return &driftHTTP{
 		base: strings.TrimRight(target, "/"),
+		wire: wireFmt,
 		hc:   &http.Client{Timeout: 60 * time.Second},
 	}
 }
@@ -116,20 +120,18 @@ func (c *driftHTTP) swap(m *disthd.Model) error {
 	return nil
 }
 
-// predictBatch classifies rows over the wire and returns the round-trip
-// latency alongside the classes.
+// predictBatch classifies rows over the wire (in the format selected with
+// -wire) and returns the round-trip latency alongside the classes.
 func (c *driftHTTP) predictBatch(rows [][]float64) ([]int, time.Duration, error) {
-	var out struct {
-		Classes []int `json:"classes"`
-	}
 	start := time.Now()
-	err := c.postJSON("/predict_batch", map[string][][]float64{"x": rows}, &out)
-	return out.Classes, time.Since(start), err
+	classes, err := postBatch(c.hc, c.base, c.wire, rows)
+	return classes, time.Since(start), err
 }
 
-// learn feeds one labeled sample through POST /learn.
+// learn feeds one labeled sample through POST /learn in the selected wire
+// format.
 func (c *driftHTTP) learn(x []float64, label int) error {
-	return c.postJSON("/learn", map[string]any{"x": x, "label": label}, nil)
+	return postLearn(c.hc, c.base, c.wire, x, label)
 }
 
 // stats scrapes GET /stats.
@@ -176,11 +178,11 @@ const httpChunk = 16
 // are deltas from that kind's start; the sliding feedback window itself
 // carries across kinds on a long-lived server, as it would in production.
 func runDriftgenHTTP(o driftgenOptions, base *disthd.Model, test *dataset.Dataset, w io.Writer) error {
-	c := newDriftHTTP(o.httpTarget)
+	c := newDriftHTTP(o.httpTarget, o.wire)
 	if err := c.waitHealthy(base, 30*time.Second); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "live target: %s\n", c.base)
+	fmt.Fprintf(w, "live target: %s (wire=%s)\n", c.base, c.wire)
 	for _, kind := range o.kinds {
 		if err := driftgenKindHTTP(o, c, kind, base, test, w); err != nil {
 			return err

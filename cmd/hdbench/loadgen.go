@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"io"
+	"net/http"
 	"strconv"
 	"strings"
 	"sync"
@@ -24,6 +25,8 @@ type loadgenOptions struct {
 	maxBatch    int
 	maxDelay    time.Duration
 	quantize    bool
+	httpTarget  string // non-empty: drive a live disthd-serve instead
+	wire        string // wire format for the live target: json or binary
 }
 
 // parseConcurrency parses a comma-separated concurrency sweep.
@@ -47,6 +50,9 @@ func parseConcurrency(s string) ([]int, error) {
 // 1-bit packed tier, with its speedup over the batched f32 path. This is
 // the measurement behind PERF.md's serving tables.
 func runLoadgen(o loadgenOptions, w io.Writer) error {
+	if o.httpTarget != "" {
+		return runLoadgenHTTP(o, w)
+	}
 	train, test, err := disthd.SyntheticBenchmark(o.dataset, o.scale, o.seed)
 	if err != nil {
 		return err
@@ -123,6 +129,94 @@ func runLoadgen(o loadgenOptions, w io.Writer) error {
 			conc, direct, batched, batched/direct, meanRows)
 	}
 	return nil
+}
+
+// lgHTTPBatch is how many rows ride one /predict_batch request in
+// live-HTTP loadgen mode — big enough that the wire codec dominates the
+// per-request cost, matching the PERF.md wire tables.
+const lgHTTPBatch = 16
+
+// runLoadgenHTTP drives a LIVE disthd-serve (or disthd-cluster — same
+// wire surface) closed-loop over /predict_batch in the selected wire
+// format. Run it once with -wire json and once with -wire binary to
+// measure the frame protocol's end-to-end win on a real deployment; this
+// is also the binary-wire smoke `make ci` runs via
+// scripts/wire_smoke.sh.
+func runLoadgenHTTP(o loadgenOptions, w io.Writer) error {
+	_, test, err := disthd.SyntheticBenchmark(o.dataset, o.scale, o.seed)
+	if err != nil {
+		return err
+	}
+	base := o.httpTarget
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	hc := &http.Client{Timeout: 30 * time.Second}
+	if err := waitReady(hc, base); err != nil {
+		return err
+	}
+
+	// Pre-slice the query stream into fixed-size request batches.
+	var chunks [][][]float64
+	for pos := 0; pos+lgHTTPBatch <= len(test.X); pos += lgHTTPBatch {
+		chunks = append(chunks, test.X[pos:pos+lgHTTPBatch])
+	}
+	if len(chunks) == 0 {
+		return fmt.Errorf("dataset %s at scale %g has fewer than %d query rows", o.dataset, o.scale, lgHTTPBatch)
+	}
+
+	fmt.Fprintf(w, "loadgen: live target %s, wire=%s, %d rows/request, %v per cell\n\n",
+		base, o.wire, lgHTTPBatch, o.duration)
+	fmt.Fprintf(w, "%12s %12s %14s\n", "concurrency", "req/s", "rows/s")
+	for _, conc := range o.concurrency {
+		var failed atomic.Bool
+		var firstErr atomic.Value
+		rate := closedLoopN(conc, o.duration, len(chunks), func(i int) error {
+			classes, err := postBatch(hc, base, o.wire, chunks[i])
+			if err == nil && len(classes) != lgHTTPBatch {
+				err = fmt.Errorf("answered %d classes for %d rows", len(classes), lgHTTPBatch)
+			}
+			if err != nil && !failed.Swap(true) {
+				firstErr.Store(err)
+			}
+			return err
+		})
+		if failed.Load() {
+			return firstErr.Load().(error)
+		}
+		fmt.Fprintf(w, "%12d %12.0f %14.0f\n", conc, rate, rate*lgHTTPBatch)
+	}
+	return nil
+}
+
+// closedLoopN runs conc clients for about d, each calling do with a
+// rotating index below n, and returns calls/second.
+func closedLoopN(conc int, d time.Duration, n int, do func(int) error) float64 {
+	var (
+		wg    sync.WaitGroup
+		total atomic.Int64
+		stop  atomic.Bool
+	)
+	start := time.Now()
+	for c := 0; c < conc; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			calls := 0
+			for !stop.Load() {
+				if err := do((c + calls) % n); err != nil {
+					break
+				}
+				calls++
+			}
+			total.Add(int64(calls))
+		}(c)
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	return float64(total.Load()) / time.Since(start).Seconds()
 }
 
 // closedLoop runs conc clients for about d and returns requests/second.

@@ -9,6 +9,7 @@
 //	hdbench -exp all -scale 0.35      # everything, EXPERIMENTS.md scale
 //	hdbench -exp fig8 -quick          # CI-sized smoke run
 //	hdbench -loadgen -concurrency 1,8,32,64 -duration 2s
+//	hdbench -loadgen -http 127.0.0.1:8080 -wire binary
 //	hdbench -driftgen -drift-kinds shift,scale -drift-windows 8
 //	hdbench -chaos -duration 6s -concurrency 4
 //	hdbench -chaos -http 127.0.0.1:8090 -duration 5s
@@ -16,7 +17,14 @@
 // -loadgen runs the closed-loop serving benchmark: it measures per-request
 // Predict against the micro-batching serve.Batcher at each concurrency
 // level and reports throughput plus the batching speedup (the PERF.md
-// serving table).
+// serving table). With -http it instead drives a LIVE disthd-serve or
+// disthd-cluster over /predict_batch in the format picked by -wire (json,
+// or binary for the repro/serve/wire frame protocol) — run it once per
+// format to measure the binary wire's end-to-end win on a deployment.
+//
+// -wire selects the wire format every live-HTTP driver uses for predict
+// and learn calls; the self-contained -chaos run applies it to the
+// coordinator->worker hop instead.
 //
 // -driftgen runs the closed-loop streaming drift benchmark: a labeled
 // stream whose distribution drifts (dataset.DriftStream) is served by a
@@ -89,9 +97,14 @@ func main() {
 		dgNoise   = flag.Float64("drift-label-noise", 0, "driftgen: fraction of feedback labels flipped to a wrong class (bad-teacher scenario the gate must survive)")
 		dgHoldout = flag.Float64("drift-holdout", 0, "driftgen: holdout fraction for the gated run (0 = default 0.20)")
 		dgMargin  = flag.Float64("drift-gate-margin", -0.07, "driftgen: holdout-accuracy lead a challenger needs to publish; the default tolerates one standard error of the ~51-sample holdout estimate (sqrt(0.25/51)), so sampling noise never vetoes a challenger while garbage — which loses by far more — still rejects")
-		dgHTTP    = flag.String("http", "", "driftgen/chaos: drive a LIVE server at this address (host:port or URL) instead of the in-process stack — a disthd-serve for -driftgen, a disthd-cluster coordinator for -chaos")
+		dgHTTP    = flag.String("http", "", "loadgen/driftgen/chaos: drive a LIVE server at this address (host:port or URL) instead of the in-process stack — a disthd-serve for -loadgen/-driftgen, a disthd-cluster coordinator for -chaos")
+		wireFmt   = flag.String("wire", "json", "loadgen/driftgen/chaos: wire format for live-HTTP predict/learn calls (json or binary); self-contained -chaos uses it coordinator->worker")
 	)
 	flag.Parse()
+	if err := checkWire(*wireFmt); err != nil {
+		fmt.Fprintf(os.Stderr, "hdbench: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *chaos {
 		conc, err := parseConcurrency(*lgConc)
@@ -107,6 +120,7 @@ func main() {
 			concurrency: conc[0],
 			duration:    *lgDur,
 			httpTarget:  *dgHTTP,
+			wire:        *wireFmt,
 		}
 		if err := runChaos(o, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "hdbench: chaos: %v\n", err)
@@ -139,6 +153,7 @@ func main() {
 			retrainIters: *dgRetrain,
 			trainIters:   *dgTrain,
 			httpTarget:   *dgHTTP,
+			wire:         *wireFmt,
 			quantize:     *quant,
 			quick:        *quick,
 		}
@@ -165,6 +180,8 @@ func main() {
 			maxBatch:    *lgBatch,
 			maxDelay:    *lgDelay,
 			quantize:    *quant,
+			httpTarget:  *dgHTTP,
+			wire:        *wireFmt,
 		}
 		if err := runLoadgen(o, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "hdbench: loadgen: %v\n", err)

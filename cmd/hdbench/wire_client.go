@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/serve/wire"
+)
+
+// Wire formats the live-HTTP drivers (-loadgen/-driftgen/-chaos with
+// -http) can speak to a disthd-serve or disthd-cluster target, selected
+// with -wire.
+const (
+	wireJSON   = "json"
+	wireBinary = "binary"
+)
+
+// checkWire validates the -wire flag value.
+func checkWire(s string) error {
+	if s != wireJSON && s != wireBinary {
+		return fmt.Errorf("bad -wire %q: want %s or %s", s, wireJSON, wireBinary)
+	}
+	return nil
+}
+
+// encodeBatch marshals rows as one /predict_batch request body in the
+// given wire format, returning the payload and its content type.
+func encodeBatch(wireFmt string, rows [][]float64) ([]byte, string, error) {
+	if wireFmt == wireBinary {
+		payload, err := wire.AppendMatrixF64(nil, rows, len(rows[0]))
+		return payload, wire.ContentType, err
+	}
+	payload, err := json.Marshal(map[string][][]float64{"x": rows})
+	return payload, "application/json", err
+}
+
+// decodeBatch parses a /predict_batch response body in the format the
+// server mirrored back.
+func decodeBatch(contentType string, body []byte) ([]int, error) {
+	if contentType == wire.ContentType {
+		d := wire.NewDecoder(bytes.NewReader(body))
+		typ, err := d.Next()
+		if err != nil {
+			return nil, err
+		}
+		if typ != wire.TypeClasses {
+			return nil, fmt.Errorf("response frame %v, want classes", typ)
+		}
+		n, err := d.ClassCount()
+		if err != nil {
+			return nil, err
+		}
+		classes := make([]int, n)
+		return classes, d.Classes(classes)
+	}
+	var out struct {
+		Classes []int `json:"classes"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, err
+	}
+	return out.Classes, nil
+}
+
+// postBatch runs one /predict_batch round trip against base in wireFmt
+// and returns the classes.
+func postBatch(hc *http.Client, base, wireFmt string, rows [][]float64) ([]int, error) {
+	payload, ct, err := encodeBatch(wireFmt, rows)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Post(base+"/predict_batch", ct, bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("POST /predict_batch: %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return decodeBatch(resp.Header.Get("Content-Type"), body)
+}
+
+// postLearn feeds one labeled sample through POST /learn in wireFmt.
+func postLearn(hc *http.Client, base, wireFmt string, x []float64, label int) error {
+	var payload []byte
+	ct := "application/json"
+	if wireFmt == wireBinary {
+		payload = wire.AppendLearn(nil, x, label)
+		ct = wire.ContentType
+	} else {
+		var err error
+		if payload, err = json.Marshal(map[string]any{"x": x, "label": label}); err != nil {
+			return err
+		}
+	}
+	resp, err := hc.Post(base+"/learn", ct, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("POST /learn: %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}

@@ -46,14 +46,18 @@
 //
 // Online serving lives in the serve subpackage: a micro-batching Batcher
 // that gives concurrent single-request callers batched-GEMM throughput, an
-// atomic model hot-swap (Swapper), an HTTP/JSON Server, and a Learner that
-// wires OnlineLearner behind the endpoints (/learn, /retrain with a
+// atomic model hot-swap (Swapper), an HTTP Server speaking JSON and — on
+// Content-Type application/x-disthd-frame — the compact binary frame
+// protocol of serve/wire (3-7x the JSON wire throughput; decoded rows
+// land directly in the replica's leased batch scratch), and a Learner
+// that wires OnlineLearner behind the endpoints (/learn, /retrain with a
 // ?force=1 gate bypass) with background drift-adaptive retraining routed
 // through the Gate — run it with cmd/disthd-serve (-learn -auto-retrain;
 // -no-gate, -holdout, -gate-margin tune the gate), load-test it with
-// `hdbench -loadgen`, and measure the adaptation win (frozen vs ungated vs
-// gated, in-process or against a live server with -http) with
-// `hdbench -driftgen`.
+// `hdbench -loadgen` (against a live server: -http <addr>, and
+// -wire binary to measure the frame protocol end to end), and measure the
+// adaptation win (frozen vs ungated vs gated, in-process or against a
+// live server with -http) with `hdbench -driftgen`.
 //
 // Fault-tolerant sharded serving lives in serve/cluster: a Coordinator
 // fans batches out across worker shards behind per-worker circuit

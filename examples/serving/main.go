@@ -16,6 +16,7 @@ import (
 
 	disthd "repro"
 	"repro/serve"
+	"repro/serve/wire"
 )
 
 func main() {
@@ -105,7 +106,19 @@ func main() {
 	fmt.Printf("served %d predictions, accuracy %.1f%% (mixed across the swap)\n",
 		total, 100*float64(correct)/float64(total))
 
-	// 5. Read the serving counters.
+	// 5. The same endpoints also speak the compact binary frame protocol
+	//    (repro/serve/wire): send a matrix frame with Content-Type
+	//    application/x-disthd-frame and the classes come back as a frame
+	//    too — ~3-7x the JSON throughput at high dimensionality. Benchmark
+	//    it on a live server with `hdbench -loadgen -http <addr> -wire
+	//    binary` (vs `-wire json`).
+	classes, err := postPredictBatchBinary(base, test.X[:8])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("binary /predict_batch answered %d classes: %v\n", len(classes), classes)
+
+	// 6. Read the serving counters — including requests per wire format.
 	stats, err := http.Get(base + "/stats")
 	if err != nil {
 		log.Fatal(err)
@@ -115,15 +128,43 @@ func main() {
 		log.Fatal(err)
 	}
 	stats.Body.Close()
-	fmt.Printf("stats: %d requests in %d batches (mean %.1f rows/batch), p50 %.2fms, p99 %.2fms, %d swap(s)\n",
+	fmt.Printf("stats: %d requests in %d batches (mean %.1f rows/batch), p50 %.2fms, p99 %.2fms, %d swap(s), wire json/binary %d/%d\n",
 		snap.Requests, snap.Batches, snap.MeanBatchRows,
-		snap.LatencyMsP50, snap.LatencyMsP99, snap.Swaps)
+		snap.LatencyMsP50, snap.LatencyMsP99, snap.Swaps,
+		snap.WireJSONRequests, snap.WireBinaryRequests)
 
-	// 6. Drain: stop the listener, then the batcher (answers everything
+	// 7. Drain: stop the listener, then the batcher (answers everything
 	//    already accepted).
 	hs.Close()
 	srv.Close()
 	fmt.Println("drained cleanly")
+}
+
+// postPredictBatchBinary sends rows to /predict_batch as a binary matrix
+// frame and decodes the classes frame that mirrors it back.
+func postPredictBatchBinary(base string, rows [][]float64) ([]int, error) {
+	frame, err := wire.AppendMatrixF64(nil, rows, len(rows[0]))
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(base+"/predict_batch", wire.ContentType, bytes.NewReader(frame))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("predict_batch: %s", resp.Status)
+	}
+	d := wire.NewDecoder(resp.Body)
+	if typ, err := d.Next(); err != nil || typ != wire.TypeClasses {
+		return nil, fmt.Errorf("want a classes frame, got %v (%v)", typ, err)
+	}
+	n, err := d.ClassCount()
+	if err != nil {
+		return nil, err
+	}
+	classes := make([]int, n)
+	return classes, d.Classes(classes)
 }
 
 // postPredict sends one feature vector to /predict.

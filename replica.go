@@ -130,37 +130,104 @@ func (r *Replica) PredictBatch(m *Model, rows [][]float64, out []int) (int, erro
 func (r *Replica) predictChunk(m *Model, rows [][]float64, out []int) {
 	n := len(rows)
 	if m.Quantized() {
-		if r.pencSrc != m.clf.Enc {
-			p, err := encoding.NewPackedRBF(m.clf.Enc)
-			if err != nil {
-				// Unreachable: Quantize1Bit and the packed loader only
-				// produce RBF-encoded models.
-				panic(fmt.Sprintf("disthd: quantized model without RBF encoder: %v", err))
-			}
-			r.penc, r.pencSrc = p, m.clf.Enc
-		}
+		r.bindPacked(m)
 		// The packed projection runs in float32: lower the rows straight
 		// into the padded f32 scratch (writing only the logical columns
 		// keeps the zero padding the kernels run over).
-		r.x32.Rows, r.z32.Rows = n, n
+		r.x32.Rows = n
 		for i, row := range rows {
 			x32 := r.x32.Row(i)
 			for j, v := range row {
 				x32[j] = float32(v)
 			}
 		}
-		r.qview.Rows = n
-		r.penc.EncodeBatchPackedInto(&r.x32, &r.z32, &r.qview)
-		r.x32.Rows, r.z32.Rows = r.maxBatch, r.maxBatch
-		bitpack.PredictBatchInto(m.packed, &r.qview, r.iscores[:n*r.classes], out)
+		r.predictPacked(m, n, out)
 		return
 	}
+	for i, row := range rows {
+		copy(r.xbuf[i*r.features:(i+1)*r.features], row)
+	}
+	r.predictDense(m, n, out)
+}
+
+// bindPacked (re)binds the packed encoder wrapper to m's encoder; a no-op
+// on the steady state, one small allocation after a hot swap changes the
+// encoder.
+func (r *Replica) bindPacked(m *Model) {
+	if r.pencSrc == m.clf.Enc {
+		return
+	}
+	p, err := encoding.NewPackedRBF(m.clf.Enc)
+	if err != nil {
+		// Unreachable: Quantize1Bit and the packed loader only produce
+		// RBF-encoded models.
+		panic(fmt.Sprintf("disthd: quantized model without RBF encoder: %v", err))
+	}
+	r.penc, r.pencSrc = p, m.clf.Enc
+}
+
+// predictPacked runs the packed encode → XOR+popcount tail over the n rows
+// already lowered into the x32 scratch.
+func (r *Replica) predictPacked(m *Model, n int, out []int) {
+	r.x32.Rows, r.z32.Rows = n, n
+	r.qview.Rows = n
+	r.penc.EncodeBatchPackedInto(&r.x32, &r.z32, &r.qview)
+	r.x32.Rows, r.z32.Rows = r.maxBatch, r.maxBatch
+	bitpack.PredictBatchInto(m.packed, &r.qview, r.iscores[:n*r.classes], out)
+}
+
+// predictDense runs the f32 EncodeBatchInto → PredictBatchInto tail over
+// the n rows already resident in the leased input scratch.
+func (r *Replica) predictDense(m *Model, n int, out []int) {
 	r.x = mat.Dense{Rows: n, Cols: r.features, Data: r.xbuf[:n*r.features]}
 	r.h = mat.Dense{Rows: n, Cols: r.dim, Data: r.hbuf[:n*r.dim]}
-	for i, row := range rows {
-		copy(r.x.Row(i), row)
-	}
 	r.s = mat.Dense{Rows: n, Cols: r.classes, Data: r.sbuf[:n*r.classes]}
 	m.clf.Enc.EncodeBatchInto(&r.x, &r.h)
 	m.clf.Model.PredictBatchInto(&r.h, &r.s, out)
+}
+
+// InputScratch exposes the replica's leased input buffer sized for n rows
+// of Features() values each, row-major. A decoder that lands request rows
+// here and then calls PredictScratch skips the intermediate [][]float64 a
+// PredictBatch call would need — the decode-into-lease fast path the
+// binary wire protocol rides. The returned slice aliases the replica's
+// arena and is only valid until the next predict call on this replica.
+func (r *Replica) InputScratch(n int) ([]float64, error) {
+	if n <= 0 || n > r.maxBatch {
+		return nil, fmt.Errorf("disthd: InputScratch for %d rows, want 1..%d", n, r.maxBatch)
+	}
+	return r.xbuf[:n*r.features], nil
+}
+
+// PredictScratch classifies the n rows currently resident in InputScratch
+// through m into out (len(out) >= n), without copying them again. For a
+// quantized model the rows are lowered from the scratch into the packed
+// float32 path; for an f32 model the kernels run over the scratch
+// directly. Steady-state it allocates nothing.
+func (r *Replica) PredictScratch(m *Model, n int, out []int) error {
+	if !r.Compatible(m) {
+		return fmt.Errorf("disthd: replica shaped %d/%d/%d cannot serve model shaped %d/%d/%d",
+			r.features, r.dim, r.classes, m.Features(), m.Dim(), m.Classes())
+	}
+	if n <= 0 || n > r.maxBatch {
+		return fmt.Errorf("disthd: PredictScratch over %d rows, want 1..%d", n, r.maxBatch)
+	}
+	if len(out) < n {
+		return fmt.Errorf("disthd: out has %d slots for %d rows", len(out), n)
+	}
+	if m.Quantized() {
+		r.bindPacked(m)
+		r.x32.Rows = n
+		for i := 0; i < n; i++ {
+			src := r.xbuf[i*r.features : (i+1)*r.features]
+			x32 := r.x32.Row(i)
+			for j, v := range src {
+				x32[j] = float32(v)
+			}
+		}
+		r.predictPacked(m, n, out)
+		return nil
+	}
+	r.predictDense(m, n, out)
+	return nil
 }

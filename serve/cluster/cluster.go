@@ -352,8 +352,23 @@ func (c *Coordinator) chunkFallback(rows [][]float64, cause error) ([]int, error
 
 // callChunk runs one chunk against the cluster: the assigned primary
 // first, then up to MaxAttempts-1 retries on rotating available workers
-// with jittered exponential backoff, respecting ctx the whole way.
+// with jittered exponential backoff, respecting ctx the whole way. When
+// the transport implements BatchPreparer, the chunk payload is encoded
+// exactly once here and every retry and hedge reuses it.
 func (c *Coordinator) callChunk(ctx context.Context, w *worker, rows [][]float64) ([]int, error) {
+	send := func(cctx context.Context, addr string) ([]int, error) {
+		return c.tr.PredictBatch(cctx, addr, rows)
+	}
+	if bp, ok := c.tr.(BatchPreparer); ok {
+		p, err := bp.PrepareBatch(rows)
+		if err != nil {
+			return nil, err
+		}
+		defer p.Close()
+		send = func(cctx context.Context, addr string) ([]int, error) {
+			return bp.PredictPrepared(cctx, addr, p)
+		}
+	}
 	var lastErr error
 	for attempt := 1; attempt <= c.cfg.Retry.MaxAttempts; attempt++ {
 		if attempt > 1 {
@@ -366,7 +381,7 @@ func (c *Coordinator) callChunk(ctx context.Context, w *worker, rows [][]float64
 				return nil, ctx.Err()
 			}
 		}
-		cls, err := c.callOnce(ctx, w, rows)
+		cls, err := c.callOnce(ctx, w, send)
 		if err == nil {
 			return cls, nil
 		}
@@ -432,14 +447,16 @@ type callResult struct {
 }
 
 // callOnce performs one (possibly hedged) call attempt against w under
-// CallTimeout. With hedging configured, an unanswered primary is
-// duplicated on a second worker after HedgeAfter; the first answer wins
-// and cancels the loser, whose breaker claim is released without a
-// verdict. Breaker accounting: a worker that answers settles Success (a
-// PermanentError still means the worker itself behaved), a worker that
-// fails while the parent context is live settles Failure, and a worker
-// abandoned mid-cancel settles Cancel.
-func (c *Coordinator) callOnce(ctx context.Context, w *worker, rows [][]float64) ([]int, error) {
+// CallTimeout, sending through send (the per-chunk closure callChunk
+// built, which carries the prepared payload when the transport supports
+// one). With hedging configured, an unanswered primary is duplicated on a
+// second worker after HedgeAfter; the first answer wins and cancels the
+// loser, whose breaker claim is released without a verdict. Breaker
+// accounting: a worker that answers settles Success (a PermanentError
+// still means the worker itself behaved), a worker that fails while the
+// parent context is live settles Failure, and a worker abandoned
+// mid-cancel settles Cancel.
+func (c *Coordinator) callOnce(ctx context.Context, w *worker, send func(context.Context, string) ([]int, error)) ([]int, error) {
 	if !w.br.Allow() {
 		return nil, errBreakerOpen
 	}
@@ -449,7 +466,7 @@ func (c *Coordinator) callOnce(ctx context.Context, w *worker, rows [][]float64)
 	launch := func(w *worker) {
 		w.requests.Add(1)
 		go func() {
-			cls, err := c.tr.PredictBatch(cctx, w.addr, rows)
+			cls, err := send(cctx, w.addr)
 			ch <- callResult{classes: cls, err: err, w: w}
 		}()
 	}

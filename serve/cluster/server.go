@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync/atomic"
 	"time"
 )
 
@@ -19,6 +20,12 @@ import (
 //	GET  /stats                                 -> cluster.Snapshot JSON
 //	POST /merge                                 -> MergeReport JSON (one merge round now)
 //
+// Like a worker, /predict and /predict_batch also negotiate the binary
+// frame protocol: a request with Content-Type application/x-disthd-frame
+// (see repro/serve/wire) is answered in kind, and /stats carries
+// per-format request counters. JSON stays the default; errors are JSON in
+// both modes.
+//
 // /healthz reports "ok" while the available workers meet the quorum and
 // "degraded" while serving from the fallback model; SetStrictHealth makes
 // degraded answer 503 so upstream load balancers can act on it. The
@@ -29,6 +36,11 @@ type Server struct {
 	mux          *http.ServeMux
 	hs           *http.Server
 	strictHealth bool
+
+	// Per-format request counters over the negotiated endpoints, surfaced
+	// in /stats so a fleet migration is observable at the coordinator too.
+	wireJSON   atomic.Uint64
+	wireBinary atomic.Uint64
 }
 
 // serverBodyLimit bounds /predict and /predict_batch request bodies.
@@ -122,6 +134,12 @@ func statusFor(err error) int {
 
 // handlePredict serves one prediction through the cluster.
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if isWire(r) {
+		s.wireBinary.Add(1)
+		s.handlePredictWire(w, r)
+		return
+	}
+	s.wireJSON.Add(1)
 	var req struct {
 		X []float64 `json:"x"`
 	}
@@ -139,6 +157,12 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 
 // handlePredictBatch serves a caller-provided batch through the cluster.
 func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
+	if isWire(r) {
+		s.wireBinary.Add(1)
+		s.handlePredictBatchWire(w, r)
+		return
+	}
+	s.wireJSON.Add(1)
 	var req struct {
 		X [][]float64 `json:"x"`
 	}
@@ -186,9 +210,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleStats reports the coordinator counters.
+// Stats assembles the full cluster snapshot: the coordinator counters
+// plus this server's per-wire-format request counters. GET /stats
+// returns exactly this.
+func (s *Server) Stats() Snapshot {
+	snap := s.c.Stats()
+	snap.WireJSONRequests = s.wireJSON.Load()
+	snap.WireBinaryRequests = s.wireBinary.Load()
+	return snap
+}
+
+// handleStats reports the coordinator counters plus the server's
+// per-format request counters.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.c.Stats())
+	writeJSON(w, http.StatusOK, s.Stats())
 }
 
 // handleMerge triggers one federated merge round and reports it — the

@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/serve/wire"
+)
+
+// Binary wire-mode handlers for the cluster Server: /predict and
+// /predict_batch accept Content-Type application/x-disthd-frame and
+// mirror it in the response, exactly like a single worker, so a
+// binary-speaking client cannot tell a coordinator from a worker either.
+// The Coordinator API takes [][]float64 (chunks are re-encoded per worker
+// by the transport), so frames are decoded into a pooled flat buffer with
+// pooled row headers over it; errors stay JSON in both modes.
+
+// isWire reports whether the request negotiates the binary frame
+// protocol.
+func isWire(r *http.Request) bool {
+	return strings.HasPrefix(r.Header.Get("Content-Type"), wire.ContentType)
+}
+
+// Wire-path pools: frame decoders, flat row storage + row headers, class
+// output, and response frames.
+var (
+	srvDecPool   = sync.Pool{New: func() any { return wire.NewDecoder(nil) }}
+	srvFlatPool  = sync.Pool{New: func() any { s := make([]float64, 0, 4096); return &s }}
+	srvRowsPool  = sync.Pool{New: func() any { s := make([][]float64, 0, 64); return &s }}
+	srvFramePool = sync.Pool{New: func() any { s := make([]byte, 0, 512); return &s }}
+)
+
+// poolRowsOK reports whether decoded request rows may live in pooled
+// storage. With a BatchPreparer transport the rows are re-encoded
+// synchronously inside PredictBatch, so nothing references them after it
+// returns; with a plain Transport an abandoned hedge goroutine can still
+// be reading them afterwards, so the rows must own their memory.
+func (s *Server) poolRowsOK() bool {
+	_, ok := s.c.tr.(BatchPreparer)
+	return ok
+}
+
+// decodeMatrix reads one matrix frame into a flat buffer — pooled when
+// the transport permits it — and returns row views over it. done
+// releases any pooled storage; call it once the rows are no longer
+// referenced.
+func decodeMatrix(d *wire.Decoder, pooled bool) (rows [][]float64, done func(), err error) {
+	typ, err := d.Next()
+	if err != nil {
+		return nil, nil, fmt.Errorf("cluster: read frame: %w", err)
+	}
+	if typ != wire.TypeMatrixF64 && typ != wire.TypeMatrixF32 {
+		return nil, nil, fmt.Errorf("cluster: want a matrix frame, got %v", typ)
+	}
+	n, cols, err := d.MatrixDims()
+	if err != nil {
+		return nil, nil, err
+	}
+	var flat []float64
+	done = func() {}
+	if pooled {
+		fp := srvFlatPool.Get().(*[]float64)
+		rp := srvRowsPool.Get().(*[][]float64)
+		done = func() {
+			srvFlatPool.Put(fp)
+			srvRowsPool.Put(rp)
+		}
+		if cap(*fp) < n*cols {
+			*fp = make([]float64, n*cols)
+		}
+		if cap(*rp) < n {
+			*rp = make([][]float64, n)
+		}
+		flat, rows = (*fp)[:n*cols], (*rp)[:n]
+	} else {
+		flat, rows = make([]float64, n*cols), make([][]float64, n)
+	}
+	if err := d.Floats(flat); err != nil {
+		done()
+		return nil, nil, err
+	}
+	for i := range rows {
+		rows[i] = flat[i*cols : (i+1)*cols]
+	}
+	return rows, done, nil
+}
+
+// writeClassesFrame answers with a pooled binary classes frame.
+func writeClassesFrame(w http.ResponseWriter, classes []int) {
+	buf := srvFramePool.Get().(*[]byte)
+	defer srvFramePool.Put(buf)
+	*buf = wire.AppendClasses((*buf)[:0], classes)
+	w.Header().Set("Content-Type", wire.ContentType)
+	_, _ = w.Write(*buf)
+}
+
+// handlePredictWire serves one prediction from a 1-row matrix frame.
+func (s *Server) handlePredictWire(w http.ResponseWriter, r *http.Request) {
+	d := srvDecPool.Get().(*wire.Decoder)
+	d.Reset(r.Body)
+	defer srvDecPool.Put(d)
+	rows, done, err := decodeMatrix(d, s.poolRowsOK())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer done()
+	if len(rows) != 1 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: /predict wants exactly one row, got %d", len(rows)))
+		return
+	}
+	class, err := s.c.Predict(r.Context(), rows[0])
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeClassesFrame(w, []int{class})
+}
+
+// handlePredictBatchWire serves a matrix frame through the cluster.
+func (s *Server) handlePredictBatchWire(w http.ResponseWriter, r *http.Request) {
+	d := srvDecPool.Get().(*wire.Decoder)
+	d.Reset(r.Body)
+	defer srvDecPool.Put(d)
+	rows, done, err := decodeMatrix(d, s.poolRowsOK())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer done()
+	classes, err := s.c.PredictBatch(r.Context(), rows)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeClassesFrame(w, classes)
+}

@@ -71,4 +71,10 @@ type Snapshot struct {
 	LastMergeUnix int64 `json:"last_merge_unix"`
 	// HasFallback is whether a local fallback model is held.
 	HasFallback bool `json:"has_fallback"`
+	// WireJSONRequests and WireBinaryRequests count requests to the
+	// cluster Server's format-negotiated endpoints (/predict,
+	// /predict_batch) by wire format. The Coordinator itself does not
+	// track formats; Server.handleStats fills these.
+	WireJSONRequests   uint64 `json:"wire_json_requests"`
+	WireBinaryRequests uint64 `json:"wire_binary_requests"`
 }

@@ -1,0 +1,253 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	disthd "repro"
+	"repro/serve"
+	"repro/serve/wire"
+)
+
+// liveWorker stands up one real serving worker over HTTP for the wire
+// interop tests (the test-sized sibling of bench_test.go's benchWorker).
+func liveWorker(t testing.TB, m *disthd.Model) string {
+	t.Helper()
+	srv, err := serve.New(m, serve.Options{MaxBatch: 32, MaxDelay: time.Millisecond, Replicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Close()
+	})
+	return hs.URL
+}
+
+// newLiveCluster stands up three real workers and a cluster Server in
+// front of them, with the coordinator's transport speaking workerWire to
+// the workers.
+func newLiveCluster(t *testing.T, workerWire string) *httptest.Server {
+	t.Helper()
+	f := fixtures(t)
+	addrs := []string{
+		liveWorker(t, f.shards[0]),
+		liveWorker(t, f.shards[1]),
+		liveWorker(t, f.shards[2]),
+	}
+	tr := NewHTTPTransport()
+	tr.Wire = workerWire
+	c, err := New(Config{
+		Workers:     addrs,
+		CallTimeout: 2 * time.Second,
+		Fallback:    f.shards[0],
+		Transport:   tr,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	s := NewServer(c)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// postBatchJSON runs a JSON /predict_batch and returns the classes.
+func postBatchJSON(t *testing.T, url string, rows [][]float64) []int {
+	t.Helper()
+	var out struct {
+		Classes []int `json:"classes"`
+	}
+	if code := postJSON(t, url+"/predict_batch", map[string]any{"x": rows}, &out); code != http.StatusOK {
+		t.Fatalf("JSON /predict_batch status %d", code)
+	}
+	return out.Classes
+}
+
+// postBatchBinary runs a binary /predict_batch and returns the classes.
+func postBatchBinary(t *testing.T, url string, rows [][]float64) []int {
+	t.Helper()
+	frame, err := wire.AppendMatrixF64(nil, rows, len(rows[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/predict_batch", wire.ContentType, bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("binary /predict_batch status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != wire.ContentType {
+		t.Fatalf("binary response content type %q", ct)
+	}
+	d := wire.NewDecoder(bytes.NewReader(body))
+	typ, err := d.Next()
+	if err != nil || typ != wire.TypeClasses {
+		t.Fatalf("response frame = %v, %v; want classes", typ, err)
+	}
+	n, err := d.ClassCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := make([]int, n)
+	if err := d.Classes(classes); err != nil {
+		t.Fatal(err)
+	}
+	return classes
+}
+
+// TestClusterMixedFormatInterop is the coordinator<->worker interop E2E:
+// every combination of client format (JSON, binary) and coordinator->
+// worker format (JSON, binary) must answer the same classes over real
+// HTTP end to end — format negotiation happens per hop, invisibly to the
+// other hop.
+func TestClusterMixedFormatInterop(t *testing.T) {
+	f := fixtures(t)
+	rows := f.test.X[:13]
+	var want []int
+	for _, workerWire := range []string{WireJSON, WireBinary} {
+		ts := newLiveCluster(t, workerWire)
+		for _, client := range []string{"json", "binary"} {
+			var got []int
+			if client == "binary" {
+				got = postBatchBinary(t, ts.URL, rows)
+			} else {
+				got = postBatchJSON(t, ts.URL, rows)
+			}
+			if want == nil {
+				want = got
+				if len(want) != len(rows) {
+					t.Fatalf("got %d classes for %d rows", len(want), len(rows))
+				}
+				continue
+			}
+			if len(got) != len(want) {
+				t.Fatalf("client=%s workers=%s: %d classes, want %d", client, workerWire, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("client=%s workers=%s: class[%d] = %d, want %d", client, workerWire, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestClusterWireSingleAndStats covers the binary /predict hop through a
+// live cluster plus the per-format counters in the coordinator's /stats.
+func TestClusterWireSingleAndStats(t *testing.T) {
+	f := fixtures(t)
+	ts := newLiveCluster(t, WireBinary)
+
+	var one struct {
+		Class int `json:"class"`
+	}
+	if code := postJSON(t, ts.URL+"/predict", map[string]any{"x": f.test.X[0]}, &one); code != http.StatusOK {
+		t.Fatalf("JSON /predict status %d", code)
+	}
+	got := postBatchBinary(t, ts.URL, f.test.X[:1])
+	if len(got) != 1 || got[0] != one.Class {
+		t.Fatalf("binary /predict_batch of one row = %v, JSON /predict says %d", got, one.Class)
+	}
+
+	// Malformed binary -> JSON 400 with an error body.
+	resp, err := http.Post(ts.URL+"/predict_batch", wire.ContentType, bytes.NewReader([]byte("junk")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed frame status %d: %s", resp.StatusCode, body)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("malformed frame error body %q", body)
+	}
+
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(sresp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	// 1 JSON predict; binary: 1 good batch + 1 malformed.
+	if snap.WireJSONRequests != 1 || snap.WireBinaryRequests != 2 {
+		t.Fatalf("wire counters json=%d binary=%d, want 1/2", snap.WireJSONRequests, snap.WireBinaryRequests)
+	}
+}
+
+// TestTransportBinaryMatchesJSON pins the transport's two wire formats to
+// each other against one live worker, prepared-payload path included.
+func TestTransportBinaryMatchesJSON(t *testing.T) {
+	f := fixtures(t)
+	addr := liveWorker(t, f.shards[0])
+	rows := f.test.X[:9]
+	ctx := context.Background()
+
+	jt := NewHTTPTransport()
+	want, err := jt.PredictBatch(ctx, addr, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt := NewHTTPTransport()
+	bt.Wire = WireBinary
+	got, err := bt.PredictBatch(ctx, addr, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("binary transport answered %d classes, JSON %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("class[%d]: binary %d, JSON %d", i, got[i], want[i])
+		}
+	}
+
+	// A prepared payload must survive reuse: run the same PreparedBatch
+	// twice, as a retry would.
+	p, err := bt.PrepareBatch(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for attempt := 0; attempt < 2; attempt++ {
+		again, err := bt.PredictPrepared(ctx, addr, p)
+		if err != nil {
+			t.Fatalf("attempt %d: %v", attempt, err)
+		}
+		for i := range again {
+			if again[i] != want[i] {
+				t.Fatalf("attempt %d class[%d]: %d, want %d", attempt, i, again[i], want[i])
+			}
+		}
+	}
+
+	// An unknown wire format must fail permanently, not retry forever.
+	ut := NewHTTPTransport()
+	ut.Wire = "carrier-pigeon"
+	if _, err := ut.PredictBatch(ctx, addr, rows); err == nil {
+		t.Fatal("unknown wire format did not error")
+	}
+}

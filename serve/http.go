@@ -40,6 +40,15 @@ const (
 //	POST /retrain[?force=1]                     -> {"started":true,...}
 //	POST /quantize[?force=1&margin=-0.02]       -> {"published":true,...}
 //
+// /predict, /predict_batch, and /learn negotiate a second wire format:
+// a request with Content-Type application/x-disthd-frame carries a binary
+// frame (see repro/serve/wire) and is answered in kind — request rows are
+// decoded straight into a pooled replica's leased batch scratch, skipping
+// JSON float parsing and the intermediate [][]float64 entirely. JSON stays
+// the default and is byte-for-byte unchanged; errors are JSON in both
+// modes. /stats reports per-format request counters so a fleet migration
+// is observable.
+//
 // /learn and /retrain are live only after AttachLearner; without a learner
 // they return 404. A /retrain challenger answers to the champion/challenger
 // gate like any drift-triggered one; ?force=1 publishes it regardless of
@@ -73,6 +82,12 @@ type Server struct {
 	quantRejects   atomic.Uint64
 	quantLastGate  atomic.Pointer[GateResult]
 	quantMu        sync.Mutex // serializes handleQuantize's read-gate-swap
+
+	// Per-format request counters over the format-negotiated endpoints
+	// (/predict, /predict_batch, /learn), so operators can watch a fleet
+	// migrate from JSON to the binary frame protocol via /stats.
+	wireJSON   atomic.Uint64
+	wireBinary atomic.Uint64
 }
 
 // NewServer wraps an existing Batcher. The caller keeps ownership of the
@@ -173,27 +188,54 @@ func writeError(w http.ResponseWriter, status int, err error) {
 
 // readJSON decodes a POST body bounded by limit, mapping an oversized
 // body to 413 and malformed JSON to 400; a zero status means success.
+// The body is buffered through a pooled scratch buffer and unmarshaled in
+// place, so decoding into a pooled request struct reuses its slice
+// backing arrays (encoding/json appends into existing capacity) — the
+// steady-state JSON request path allocates no per-request scratch.
 func readJSON(w http.ResponseWriter, r *http.Request, limit int64, v any) (int, error) {
-	r.Body = http.MaxBytesReader(w, r.Body, limit)
-	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+	body := http.MaxBytesReader(w, r.Body, limit)
+	bp := jsonBufPool.Get().(*bytes.Buffer)
+	defer jsonBufPool.Put(bp)
+	bp.Reset()
+	if _, err := bp.ReadFrom(body); err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
 			return http.StatusRequestEntityTooLarge, fmt.Errorf("request body exceeds %d bytes", mbe.Limit)
 		}
 		return http.StatusBadRequest, fmt.Errorf("decode body: %w", err)
 	}
+	if err := json.Unmarshal(bp.Bytes(), v); err != nil {
+		return http.StatusBadRequest, fmt.Errorf("decode body: %w", err)
+	}
 	return 0, nil
 }
+
+// jsonBufPool recycles the body-read scratch behind readJSON.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 // predictRequest is the /predict body.
 type predictRequest struct {
 	X []float64 `json:"x"`
 }
 
+// predictReqPool recycles /predict request structs; json.Unmarshal reuses
+// the X backing array across requests.
+var predictReqPool = sync.Pool{New: func() any { return new(predictRequest) }}
+
 // handlePredict serves one coalesced prediction.
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	var req predictRequest
-	if status, err := readJSON(w, r, maxJSONBody, &req); status != 0 {
+	if isWire(r) {
+		s.wireBinary.Add(1)
+		s.handlePredictWire(w, r)
+		return
+	}
+	s.wireJSON.Add(1)
+	req := predictReqPool.Get().(*predictRequest)
+	defer predictReqPool.Put(req)
+	// Reset so a body without "x" cannot inherit the previous request's
+	// row; truncating keeps the backing array for reuse.
+	req.X = req.X[:0]
+	if status, err := readJSON(w, r, maxJSONBody, req); status != 0 {
 		writeError(w, status, err)
 		return
 	}
@@ -210,10 +252,22 @@ type predictBatchRequest struct {
 	X [][]float64 `json:"x"`
 }
 
+// predictBatchReqPool recycles /predict_batch request structs; the outer
+// and inner row backing arrays are both reused by json.Unmarshal.
+var predictBatchReqPool = sync.Pool{New: func() any { return new(predictBatchRequest) }}
+
 // handlePredictBatch serves a caller-provided batch directly.
 func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
-	var req predictBatchRequest
-	if status, err := readJSON(w, r, maxJSONBody, &req); status != 0 {
+	if isWire(r) {
+		s.wireBinary.Add(1)
+		s.handlePredictBatchWire(w, r)
+		return
+	}
+	s.wireJSON.Add(1)
+	req := predictBatchReqPool.Get().(*predictBatchRequest)
+	defer predictBatchReqPool.Put(req)
+	req.X = req.X[:0]
+	if status, err := readJSON(w, r, maxJSONBody, req); status != 0 {
 		writeError(w, status, err)
 		return
 	}
@@ -309,9 +363,10 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(buf.Bytes())
 }
 
-// handleStats reports the serving counters, with the learner gauges folded
-// in when online learning is attached and the quantization gauges always.
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+// Stats assembles the full serving snapshot: batcher counters, learner
+// gauges when online learning is attached, quantization gauges, and the
+// per-wire-format request counters. GET /stats returns exactly this.
+func (s *Server) Stats() Snapshot {
 	snap := s.b.Stats()
 	if s.learner != nil {
 		ls := s.learner.Snapshot()
@@ -323,7 +378,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Rejects:   s.quantRejects.Load(),
 		LastGate:  s.quantLastGate.Load(),
 	}
-	writeJSON(w, http.StatusOK, snap)
+	snap.WireJSONRequests = s.wireJSON.Load()
+	snap.WireBinaryRequests = s.wireBinary.Load()
+	return snap
+}
+
+// handleStats reports the serving counters, with the learner gauges folded
+// in when online learning is attached and the quantization gauges always.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
 }
 
 // defaultQuantizeMargin is the accuracy regression /quantize tolerates by
@@ -406,6 +469,10 @@ type learnRequest struct {
 	Label int       `json:"label"`
 }
 
+// learnReqPool recycles /learn request structs; json.Unmarshal reuses the
+// X backing array across requests.
+var learnReqPool = sync.Pool{New: func() any { return new(learnRequest) }}
+
 // handleLearn ingests labeled feedback into the attached learner. 404
 // without a learner, 400 for malformed feedback.
 func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
@@ -413,8 +480,16 @@ func (s *Server) handleLearn(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, errNoLearner)
 		return
 	}
-	var req learnRequest
-	if status, err := readJSON(w, r, maxJSONBody, &req); status != 0 {
+	if isWire(r) {
+		s.wireBinary.Add(1)
+		s.handleLearnWire(w, r)
+		return
+	}
+	s.wireJSON.Add(1)
+	req := learnReqPool.Get().(*learnRequest)
+	defer learnReqPool.Put(req)
+	req.X, req.Label = req.X[:0], 0
+	if status, err := readJSON(w, r, maxJSONBody, req); status != 0 {
 		writeError(w, status, err)
 		return
 	}

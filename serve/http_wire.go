@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/serve/wire"
+)
+
+// Binary wire-mode handlers: /predict, /predict_batch, and /learn accept
+// Content-Type application/x-disthd-frame and mirror it in the response.
+// The whole path is pooled — frame decoder, class output, response frame,
+// single-row scratch — and batch rows are decoded straight into a pooled
+// replica's leased input scratch through Batcher.PredictStream, so the
+// steady state stays within a handful of allocations per request. Errors
+// are always answered as JSON with a non-2xx status, whatever the request
+// format; a binary client keys off the status code alone. The decoder's
+// own payload bound (wire.DefaultMaxPayload, deliberately equal to
+// maxJSONBody) replaces the MaxBytesReader the JSON path wraps around the
+// body: the decoder never reads more than one bounded frame.
+
+// isWire reports whether the request negotiates the binary frame protocol.
+func isWire(r *http.Request) bool {
+	return strings.HasPrefix(r.Header.Get("Content-Type"), wire.ContentType)
+}
+
+// Wire-path pools. Indirect slice pointers keep Put from allocating an
+// interface box per cycle.
+var (
+	decPool      = sync.Pool{New: func() any { return wire.NewDecoder(nil) }}
+	outPool      = sync.Pool{New: func() any { s := make([]int, 0, 64); return &s }}
+	frameBufPool = sync.Pool{New: func() any { s := make([]byte, 0, 512); return &s }}
+	rowPool      = sync.Pool{New: func() any { s := make([]float64, 0, 64); return &s }}
+)
+
+// nextMatrix reads and validates a matrix frame header, returning its
+// dimensions.
+func nextMatrix(d *wire.Decoder) (rows, cols int, err error) {
+	typ, err := d.Next()
+	if err != nil {
+		return 0, 0, fmt.Errorf("serve: read frame: %w", err)
+	}
+	if typ != wire.TypeMatrixF64 && typ != wire.TypeMatrixF32 {
+		return 0, 0, fmt.Errorf("serve: want a matrix frame, got %v", typ)
+	}
+	return d.MatrixDims()
+}
+
+// writeFrame answers with one binary frame.
+func writeFrame(w http.ResponseWriter, frame []byte) {
+	w.Header().Set("Content-Type", wire.ContentType)
+	_, _ = w.Write(frame)
+}
+
+// handlePredictWire serves one coalesced prediction from a 1-row matrix
+// frame, answering with a 1-class classes frame.
+func (s *Server) handlePredictWire(w http.ResponseWriter, r *http.Request) {
+	d := decPool.Get().(*wire.Decoder)
+	d.Reset(r.Body)
+	defer decPool.Put(d)
+	rows, cols, err := nextMatrix(d)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if rows != 1 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: /predict wants exactly one row, got %d", rows))
+		return
+	}
+	rp := rowPool.Get().(*[]float64)
+	defer rowPool.Put(rp)
+	if cap(*rp) < cols {
+		*rp = make([]float64, cols)
+	}
+	row := (*rp)[:cols]
+	if err := d.Floats(row); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	class, err := s.b.Predict(row)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	buf := frameBufPool.Get().(*[]byte)
+	defer frameBufPool.Put(buf)
+	*buf = wire.AppendClasses((*buf)[:0], []int{class})
+	writeFrame(w, *buf)
+}
+
+// handlePredictBatchWire serves a matrix frame through the
+// decode-into-lease fast path: rows stream from the frame straight into a
+// pooled replica's leased input scratch, chunk by chunk, with no
+// intermediate [][]float64.
+func (s *Server) handlePredictBatchWire(w http.ResponseWriter, r *http.Request) {
+	d := decPool.Get().(*wire.Decoder)
+	d.Reset(r.Body)
+	defer decPool.Put(d)
+	rows, cols, err := nextMatrix(d)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if rows > 0 && cols != s.b.features {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("serve: input rows have %d features, model expects %d", cols, s.b.features))
+		return
+	}
+	op := outPool.Get().(*[]int)
+	defer outPool.Put(op)
+	if cap(*op) < rows {
+		*op = make([]int, rows)
+	}
+	classes := (*op)[:rows]
+	if err := s.b.PredictStream(rows, classes, d.Floats); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	buf := frameBufPool.Get().(*[]byte)
+	defer frameBufPool.Put(buf)
+	*buf = wire.AppendClasses((*buf)[:0], classes)
+	writeFrame(w, *buf)
+}
+
+// handleLearnWire ingests one labeled feedback sample from a learn frame,
+// answering with a feed-ack frame.
+func (s *Server) handleLearnWire(w http.ResponseWriter, r *http.Request) {
+	d := decPool.Get().(*wire.Decoder)
+	d.Reset(r.Body)
+	defer decPool.Put(d)
+	typ, err := d.Next()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: read frame: %w", err))
+		return
+	}
+	if typ != wire.TypeLearn {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: want a learn frame, got %v", typ))
+		return
+	}
+	label, cols, err := d.LearnHeader()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rp := rowPool.Get().(*[]float64)
+	defer rowPool.Put(rp)
+	if cap(*rp) < cols {
+		*rp = make([]float64, cols)
+	}
+	row := (*rp)[:cols]
+	if err := d.Floats(row); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.learner.Feed(row, label)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	buf := frameBufPool.Get().(*[]byte)
+	defer frameBufPool.Put(buf)
+	*buf = wire.AppendFeedAck((*buf)[:0], wire.FeedAck{
+		Correct:        res.Correct,
+		Drift:          res.Drift,
+		RetrainStarted: res.RetrainStarted,
+		WindowAccuracy: res.WindowAccuracy,
+	})
+	writeFrame(w, *buf)
+}

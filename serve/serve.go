@@ -237,6 +237,54 @@ func (b *Batcher) PredictBatch(rows [][]float64) ([]int, error) {
 	return out, nil
 }
 
+// PredictStream classifies n rows that the caller writes directly into a
+// pooled replica's leased input scratch, skipping the intermediate
+// [][]float64 PredictBatch needs — the decode-into-lease fast path the
+// binary wire protocol rides. fill is called once per chunk of up to
+// MaxBatch rows with the scratch slice to populate (row-major,
+// chunkRows×features); out must hold at least n slots. Steady-state the
+// whole call allocates nothing beyond what fill does.
+func (b *Batcher) PredictStream(n int, out []int, fill func(dst []float64) error) error {
+	b.mu.RLock()
+	closed := b.closed
+	b.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	if n == 0 {
+		return nil
+	}
+	if len(out) < n {
+		b.stats.errors.Add(1)
+		return fmt.Errorf("serve: out has %d slots for %d rows", len(out), n)
+	}
+	rep := b.repPool.Get().(*disthd.Replica)
+	defer b.repPool.Put(rep)
+	maxBatch := rep.MaxBatch()
+	for done := 0; done < n; {
+		c := n - done
+		if c > maxBatch {
+			c = maxBatch
+		}
+		dst, err := rep.InputScratch(c)
+		if err == nil {
+			err = fill(dst)
+		}
+		if err == nil {
+			// The model pointer is loaded once per chunk, like the worker
+			// flush loop, so a concurrent Swap lands cleanly between chunks.
+			err = rep.PredictScratch(b.sw.Current(), c, out[done:done+c])
+		}
+		if err != nil {
+			b.stats.errors.Add(1)
+			return err
+		}
+		done += c
+	}
+	b.stats.batchReqs.Add(uint64(n))
+	return nil
+}
+
 // Close stops accepting new requests, waits for every accepted request to
 // be answered, and stops the workers. It is idempotent.
 func (b *Batcher) Close() {

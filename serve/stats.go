@@ -194,6 +194,13 @@ type Snapshot struct {
 	LatencyMsP99 float64 `json:"latency_ms_p99"`
 	// LatencyMsMean is the exact mean latency in milliseconds.
 	LatencyMsMean float64 `json:"latency_ms_mean"`
+	// WireJSONRequests and WireBinaryRequests count requests to the
+	// format-negotiated HTTP endpoints (/predict, /predict_batch, /learn)
+	// by wire format, so operators can watch a fleet migrate from JSON to
+	// the binary frame protocol. Stats itself does not track formats;
+	// Server.handleStats fills these.
+	WireJSONRequests   uint64 `json:"wire_json_requests"`
+	WireBinaryRequests uint64 `json:"wire_binary_requests"`
 	// Learner holds the online-learning gauges when a Learner is attached
 	// to the server, nil otherwise. Stats itself does not track the
 	// learner; Server.handleStats fills this.
