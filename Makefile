@@ -8,9 +8,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check vet doc-check build test race bench-smoke fuzz-smoke bench-compare drift-smoke drift-http-smoke chaos-smoke wire-smoke bench bench-kernels bench-serve bench-drift bench-cluster
+.PHONY: ci fmt-check vet doc-check build test race bench-smoke fuzz-smoke bench-compare drift-smoke drift-http-smoke chaos-smoke wire-smoke registry-smoke bench bench-kernels bench-serve bench-drift bench-cluster bench-registry
 
-ci: fmt-check vet doc-check build race bench-smoke fuzz-smoke bench-compare drift-smoke drift-http-smoke chaos-smoke wire-smoke
+ci: fmt-check vet doc-check build race bench-smoke fuzz-smoke bench-compare drift-smoke drift-http-smoke chaos-smoke wire-smoke registry-smoke
 
 # gofmt must be a no-op across the tree.
 fmt-check:
@@ -20,10 +20,10 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-# The public surface (root package, serve, and serve/cluster) must not
+# The public surface (root package, serve, and its subpackages) must not
 # export an undocumented identifier.
 doc-check:
-	$(GO) run ./cmd/doccheck . ./serve ./serve/cluster ./serve/wire
+	$(GO) run ./cmd/doccheck . ./serve ./serve/cluster ./serve/wire ./serve/registry
 
 build:
 	$(GO) build ./...
@@ -66,8 +66,10 @@ bench-compare:
 		-benchtime 50ms -count 5 >> bench/current.txt
 	@$(GO) test ./serve/cluster -run xxx -bench 'BenchmarkDirectWorker|BenchmarkCoordinator' \
 		-benchtime 50ms -count 5 >> bench/current.txt
+	@$(GO) test ./serve/registry -run xxx -bench 'BenchmarkRegistryPredictBatch|BenchmarkRegistryDispatch' \
+		-benchtime 50ms -count 5 >> bench/current.txt
 	$(GO) run ./cmd/benchcompare -baseline bench/baseline.txt -threshold 1.50 \
-		-json BENCH_PR8.json bench/current.txt
+		-json BENCH_PR9.json bench/current.txt
 
 # One CI-sized pass of the streaming drift benchmark, so the closed-loop
 # learner harness cannot rot.
@@ -92,6 +94,15 @@ chaos-smoke:
 # SIGTERM drain asserted.
 wire-smoke:
 	sh scripts/wire_smoke.sh
+
+# The multi-tenant registry end to end at the process level: a live
+# `disthd-serve -registry` with three boot tenants through a 2-replica
+# pool, mixed JSON+binary traffic from `hdbench -loadgen -tenants -http`
+# (which installs three more over PUT /t/{id}), forced LRU eviction
+# churn asserted from /stats, per-tenant stats scraped, DELETE drain and
+# clean SIGTERM drain asserted.
+registry-smoke:
+	sh scripts/registry_smoke.sh
 
 # The kernel and end-to-end benchmarks behind PERF.md, with allocation
 # reporting and enough repetitions for benchstat.
@@ -126,3 +137,11 @@ bench-cluster:
 	$(GO) test ./serve/cluster -run xxx -bench . -benchtime 2s -count 3
 	$(GO) run ./cmd/hdbench -chaos -dataset PAMAP2 -dim 128 -loadgen-scale 0.05 \
 		-duration 4s -concurrency 3
+
+# The multi-tenant table of PERF.md: per-tenant batched throughput and
+# Acquire/Release dispatch overhead, plus the mixed-workload loadgen with
+# a pool small enough to force eviction churn.
+bench-registry:
+	$(GO) test ./serve/registry -run xxx -bench . -benchtime 2s -count 3
+	$(GO) run ./cmd/hdbench -loadgen -tenants 3 -pool 2 -dim 128 \
+		-loadgen-scale 0.05 -concurrency 8 -duration 2s

@@ -48,9 +48,26 @@
 // serve package for the wire formats, `hdbench -loadgen` for the
 // closed-loop load generator, `hdbench -driftgen` for the streaming drift
 // benchmark, and `hdbench -chaos` for the fault-injection load harness.
+// Registry mode serves MANY models from one process:
+//
+//	disthd-serve -registry -pool 8 \
+//	    -tenant 'voice=ISOLET,dim=1024' \
+//	    -tenant 'activity=PAMAP2,dim=2048,quantize=1bit' \
+//	    -tenant 'vitals=DIABETES,dim=512,learn'
+//
+// Each -tenant flag (repeatable; or -manifest tenants.json, a JSON array
+// of install specs with an "id" field) trains one model and registers it
+// in a serve/registry.Registry. Every single-model endpoint then lives at
+// /t/{model}/... per tenant, the first tenant also answers the plain
+// single-model routes (default-tenant alias), and PUT/DELETE /t/{model},
+// GET /models, and the aggregate GET /stats manage the fleet at runtime.
+// -pool caps the total resident serving replicas: cold tenants are parked
+// LRU (scratch released, model kept) to admit hot ones, and a request
+// that cannot be admitted answers 429. See the serve/registry package.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -58,11 +75,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	disthd "repro"
 	"repro/serve"
+	"repro/serve/registry"
 )
 
 func main() {
@@ -93,8 +113,19 @@ func main() {
 		noGate    = flag.Bool("no-gate", false, "publish every retrain unconditionally instead of gating champion vs challenger on the holdout")
 		stallDl   = flag.Duration("stall-deadline", 2*time.Minute, "background retrain age past which /healthz reports the learner wedged")
 		strictHlz = flag.Bool("strict-health", false, "answer /healthz with 503 while degraded (learner backoff or wedged retrain) instead of 200 + status")
+
+		useRegistry = flag.Bool("registry", false, "multi-tenant mode: serve every -tenant/-manifest model from one registry (/t/{model}/... routes)")
+		pool        = flag.Int("pool", 0, "registry replica-pool capacity; cold tenants park LRU to fit (0 = every boot tenant stays resident)")
+		manifest    = flag.String("manifest", "", "registry boot manifest: JSON array of install specs, each with an \"id\" (see -tenant for the fields)")
+		tenants     tenantFlags
 	)
+	flag.Var(&tenants, "tenant", "registry tenant as id=DEMO[,dim=N][,scale=F][,seed=N][,iterations=N][,replicas=N][,max_batch=N][,learn][,quantize=1bit] (repeatable)")
 	flag.Parse()
+
+	if *useRegistry {
+		runRegistry(*addr, *pool, *manifest, tenants)
+		return
+	}
 
 	m, gateSplit, err := loadModel(*model, *demo, *dim, *scale, *seed)
 	if err != nil {
@@ -234,4 +265,146 @@ func quantizeModel(m *disthd.Model, kind string, margin float64, holdout disthd.
 	}
 	log.Printf("1-bit tier published: packed classes, XOR+popcount scoring")
 	return q, nil
+}
+
+// bootSpec is one registry tenant to install at boot: a registry install
+// spec plus the model ID it registers under.
+type bootSpec struct {
+	ID string `json:"id"`
+	registry.InstallSpec
+}
+
+// tenantFlags collects repeated -tenant values.
+type tenantFlags []bootSpec
+
+// String renders the accumulated flags (flag.Value).
+func (t *tenantFlags) String() string {
+	ids := make([]string, len(*t))
+	for i, b := range *t {
+		ids[i] = b.ID
+	}
+	return strings.Join(ids, ",")
+}
+
+// Set parses one -tenant value: "id=DEMO" followed by comma-separated
+// options mirroring the PUT /t/{model} JSON install spec.
+func (t *tenantFlags) Set(v string) error {
+	parts := strings.Split(v, ",")
+	id, demo, ok := strings.Cut(parts[0], "=")
+	if !ok || id == "" || demo == "" {
+		return fmt.Errorf("-tenant %q: want id=DEMO[,option=value...]", v)
+	}
+	b := bootSpec{ID: id, InstallSpec: registry.InstallSpec{Demo: demo}}
+	for _, opt := range parts[1:] {
+		key, val, _ := strings.Cut(opt, "=")
+		var err error
+		switch key {
+		case "dim":
+			b.Dim, err = strconv.Atoi(val)
+		case "scale":
+			b.Scale, err = strconv.ParseFloat(val, 64)
+		case "seed":
+			b.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "iterations":
+			b.Iterations, err = strconv.Atoi(val)
+		case "replicas":
+			b.Replicas, err = strconv.Atoi(val)
+		case "max_batch":
+			b.MaxBatch, err = strconv.Atoi(val)
+		case "learn":
+			b.Learn = true
+		case "quantize":
+			b.Quantize = val
+		default:
+			return fmt.Errorf("-tenant %q: unknown option %q", v, key)
+		}
+		if err != nil {
+			return fmt.Errorf("-tenant %q: option %q: %v", v, key, err)
+		}
+	}
+	*t = append(*t, b)
+	return nil
+}
+
+// loadManifest reads a JSON boot manifest: an array of install specs with
+// "id" fields.
+func loadManifest(path string) ([]bootSpec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var specs []bootSpec
+	if err := json.NewDecoder(f).Decode(&specs); err != nil {
+		return nil, fmt.Errorf("manifest %s: %w", path, err)
+	}
+	return specs, nil
+}
+
+// runRegistry boots the multi-tenant server: train and install every
+// boot tenant, then serve the registry HTTP surface with the same
+// SIGTERM drain discipline as single-model mode.
+func runRegistry(addr string, pool int, manifest string, tenants tenantFlags) {
+	boot := []bootSpec(tenants)
+	if manifest != "" {
+		specs, err := loadManifest(manifest)
+		if err != nil {
+			log.Fatalf("disthd-serve: %v", err)
+		}
+		boot = append(boot, specs...)
+	}
+	if len(boot) == 0 {
+		log.Fatalf("disthd-serve: -registry needs at least one -tenant or a -manifest")
+	}
+	if pool == 0 {
+		// Default capacity holds every boot tenant resident at once.
+		for _, b := range boot {
+			r := b.Replicas
+			if r == 0 {
+				r = 1
+			}
+			pool += r
+		}
+	}
+	reg, err := registry.New(pool)
+	if err != nil {
+		log.Fatalf("disthd-serve: %v", err)
+	}
+	for _, b := range boot {
+		log.Printf("installing tenant %q: %s (scale %.2f, D=%d)...", b.ID, b.Demo, b.Scale, b.Dim)
+		m, spec, err := b.Build()
+		if err != nil {
+			log.Fatalf("disthd-serve: tenant %q: %v", b.ID, err)
+		}
+		if err := reg.Install(b.ID, m, spec); err != nil {
+			log.Fatalf("disthd-serve: tenant %q: %v", b.ID, err)
+		}
+		tier := "f32"
+		if m.Quantized() {
+			tier = "1bit"
+		}
+		log.Printf("tenant %q: %d features, D=%d, %d classes, %s tier, learn=%v",
+			b.ID, m.Features(), m.Dim(), m.Classes(), tier, spec.Learner != nil)
+	}
+	srv := registry.NewServer(reg)
+
+	drained := make(chan struct{})
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		defer close(drained)
+		<-stop
+		log.Printf("draining...")
+		if err := srv.Close(); err != nil {
+			log.Printf("disthd-serve: shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("registry listening on %s (%d tenants, pool capacity %d, default tenant %q)",
+		addr, len(boot), pool, reg.Default())
+	if err := srv.ListenAndServe(addr); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("disthd-serve: %v", err)
+	}
+	<-drained
+	log.Printf("bye: %+v", reg.Stats())
 }

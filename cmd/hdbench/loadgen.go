@@ -26,7 +26,9 @@ type loadgenOptions struct {
 	maxDelay    time.Duration
 	quantize    bool
 	httpTarget  string // non-empty: drive a live disthd-serve instead
-	wire        string // wire format for the live target: json or binary
+	wire        string // wire format for the live target: json, binary, or binary+f32
+	tenants     int    // -tenants: multi-tenant mixed-workload mode
+	pool        int    // -tenants in-process: registry pool capacity (0 = tenants)
 }
 
 // parseConcurrency parses a comma-separated concurrency sweep.

@@ -99,6 +99,9 @@ func main() {
 		dgMargin  = flag.Float64("drift-gate-margin", -0.07, "driftgen: holdout-accuracy lead a challenger needs to publish; the default tolerates one standard error of the ~51-sample holdout estimate (sqrt(0.25/51)), so sampling noise never vetoes a challenger while garbage — which loses by far more — still rejects")
 		dgHTTP    = flag.String("http", "", "loadgen/driftgen/chaos: drive a LIVE server at this address (host:port or URL) instead of the in-process stack — a disthd-serve for -loadgen/-driftgen, a disthd-cluster coordinator for -chaos")
 		wireFmt   = flag.String("wire", "json", "loadgen/driftgen/chaos: wire format for live-HTTP predict/learn calls (json or binary); self-contained -chaos uses it coordinator->worker")
+		f32       = flag.Bool("f32", false, "loadgen: with -wire binary, send request matrices as TypeMatrixF32 frames — half the bytes, exact for the 1-bit tier (queries are sign-quantized anyway)")
+		lgTenants = flag.Int("tenants", 0, "loadgen: multi-tenant mixed workload over a serve/registry — N tenants with heterogeneous D, per-tenant p50/p99 and eviction churn (with -http, installs t0..tN-1 on a live -registry server)")
+		lgPool    = flag.Int("pool", 0, "loadgen -tenants (in-process): registry replica-pool capacity; set below -tenants to force LRU eviction churn (0 = no eviction)")
 	)
 	flag.Parse()
 	if err := checkWire(*wireFmt); err != nil {
@@ -170,6 +173,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "hdbench: %v\n", err)
 			os.Exit(2)
 		}
+		lgWire := *wireFmt
+		if *f32 {
+			if lgWire != wireBinary {
+				fmt.Fprintln(os.Stderr, "hdbench: -f32 needs -wire binary (f32 frames ride the binary wire)")
+				os.Exit(2)
+			}
+			lgWire = wireBinaryF32
+		}
 		o := loadgenOptions{
 			dataset:     *lgData,
 			dim:         *lgDim,
@@ -181,7 +192,16 @@ func main() {
 			maxDelay:    *lgDelay,
 			quantize:    *quant,
 			httpTarget:  *dgHTTP,
-			wire:        *wireFmt,
+			wire:        lgWire,
+			tenants:     *lgTenants,
+			pool:        *lgPool,
+		}
+		if o.tenants > 0 {
+			if err := runLoadgenTenants(o, os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "hdbench: loadgen: %v\n", err)
+				os.Exit(1)
+			}
+			return
 		}
 		if err := runLoadgen(o, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "hdbench: loadgen: %v\n", err)

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -16,7 +17,16 @@ import (
 const (
 	wireJSON   = "json"
 	wireBinary = "binary"
+	// wireBinaryF32 is the internal value -wire binary -f32 resolves to:
+	// request matrices ride TypeMatrixF32 frames (half the bytes of f64;
+	// free accuracy-wise for the 1-bit tier, whose queries are
+	// sign-quantized anyway). Responses and learn frames are unchanged.
+	wireBinaryF32 = "binary+f32"
 )
+
+// errThrottled marks a 429 from a registry target's admission control —
+// backpressure to retry, not a failure.
+var errThrottled = errors.New("throttled (429): registry pool exhausted")
 
 // checkWire validates the -wire flag value.
 func checkWire(s string) error {
@@ -29,8 +39,12 @@ func checkWire(s string) error {
 // encodeBatch marshals rows as one /predict_batch request body in the
 // given wire format, returning the payload and its content type.
 func encodeBatch(wireFmt string, rows [][]float64) ([]byte, string, error) {
-	if wireFmt == wireBinary {
+	switch wireFmt {
+	case wireBinary:
 		payload, err := wire.AppendMatrixF64(nil, rows, len(rows[0]))
+		return payload, wire.ContentType, err
+	case wireBinaryF32:
+		payload, err := wire.AppendMatrixF32(nil, rows, len(rows[0]))
 		return payload, wire.ContentType, err
 	}
 	payload, err := json.Marshal(map[string][][]float64{"x": rows})
@@ -81,6 +95,9 @@ func postBatch(hc *http.Client, base, wireFmt string, rows [][]float64) ([]int, 
 	if err != nil {
 		return nil, err
 	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return nil, errThrottled
+	}
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("POST /predict_batch: %d: %s", resp.StatusCode, bytes.TrimSpace(body))
 	}
@@ -91,7 +108,7 @@ func postBatch(hc *http.Client, base, wireFmt string, rows [][]float64) ([]int, 
 func postLearn(hc *http.Client, base, wireFmt string, x []float64, label int) error {
 	var payload []byte
 	ct := "application/json"
-	if wireFmt == wireBinary {
+	if wireFmt != wireJSON {
 		payload = wire.AppendLearn(nil, x, label)
 		ct = wire.ContentType
 	} else {

@@ -59,6 +59,14 @@
 // adaptation win (frozen vs ungated vs gated, in-process or against a
 // live server with -http) with `hdbench -driftgen`.
 //
+// Multi-tenant serving lives in serve/registry: a Registry keyed by
+// model ID serves MANY models from one process behind /t/{model}/...
+// routes (the first tenant also answers the plain routes, byte-identical
+// to a single-model server), sharing a bounded replica budget with LRU
+// parking of cold tenants and 429 admission control when the pool is
+// pinned — run it with `disthd-serve -registry -tenant id=DEMO,...` and
+// load it with `hdbench -loadgen -tenants N`.
+//
 // Fault-tolerant sharded serving lives in serve/cluster: a Coordinator
 // fans batches out across worker shards behind per-worker circuit
 // breakers with retries, backoff, hedging, and active health probes,

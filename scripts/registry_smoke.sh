@@ -1,0 +1,132 @@
+#!/bin/sh
+# registry_smoke.sh — the multi-tenant registry CI smoke at the process
+# level: build the real binaries, boot a `disthd-serve -registry` with
+# three heterogeneous boot tenants squeezed through a 2-replica pool
+# (so LRU parking is forced from the first minute), then drive it with
+# `hdbench -loadgen -tenants 3 -http` once over JSON and once over the
+# binary frame protocol (hdbench installs three more tenants over
+# PUT /t/{id} and exits nonzero if any request ultimately fails — 429s
+# are retried, never dropped). Afterwards the script asserts the
+# registry actually churned (evictions > 0 in /stats), scrapes a
+# per-tenant /t/{model}/stats, removes a tenant over DELETE, and
+# SIGTERMs the server expecting a clean drain (the "bye:" line only
+# prints after every tenant drained).
+set -eu
+
+GO=${GO:-go}
+ADDR=${REGISTRY_SMOKE_ADDR:-127.0.0.1:18096}
+TMP=$(mktemp -d)
+SERVE_PID=""
+
+cleanup() {
+    if [ -n "$SERVE_PID" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
+        kill -9 "$SERVE_PID" 2>/dev/null || true
+    fi
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+fetch() {
+    curl -fsS "$1" 2>/dev/null || wget -qO- "$1"
+}
+
+echo "registry-smoke: building binaries..."
+for pkg in disthd-serve hdbench; do
+    if ! $GO build -o "$TMP/$pkg" "./cmd/$pkg"; then
+        echo "registry-smoke: FAILED to build ./cmd/$pkg — fix the compile error above" >&2
+        exit 1
+    fi
+done
+
+echo "registry-smoke: starting disthd-serve -registry on $ADDR (pool 2, 3 boot tenants)..."
+"$TMP/disthd-serve" -registry -addr "$ADDR" -pool 2 \
+    -tenant 'alpha=UCIHAR,dim=64,scale=0.05,iterations=2' \
+    -tenant 'beta=ISOLET,dim=96,scale=0.05,iterations=2' \
+    -tenant 'gamma=DIABETES,dim=48,scale=0.05,iterations=2' \
+    >"$TMP/serve.log" 2>&1 &
+SERVE_PID=$!
+
+# Wait for the registry to finish boot training and start listening.
+i=0
+until MODELS=$(fetch "http://$ADDR/models" 2>/dev/null); do
+    i=$((i + 1))
+    if [ "$i" -ge 100 ]; then
+        echo "registry-smoke: server never became ready; log:" >&2
+        cat "$TMP/serve.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+for id in alpha beta gamma; do
+    case "$MODELS" in
+    *"\"$id\""*) ;;
+    *)
+        echo "registry-smoke: GET /models is missing boot tenant $id: $MODELS" >&2
+        exit 1 ;;
+    esac
+done
+
+# Mixed-workload traffic in both wire formats: hdbench installs t0..t2
+# over PUT /t/{id} (now 6 tenants through the 2-slot pool) and sprays
+# /t/{id}/predict_batch, retrying 429 backpressure — zero drops allowed.
+for wire in json binary; do
+    echo "registry-smoke: hdbench -loadgen -tenants 3 -http $ADDR -wire $wire..."
+    if ! "$TMP/hdbench" -loadgen -tenants 3 -http "$ADDR" -wire "$wire" \
+        -dim 64 -loadgen-scale 0.05 -concurrency 4 -duration 1s; then
+        echo "registry-smoke: tenants loadgen -wire $wire FAILED; server log:"
+        cat "$TMP/serve.log"
+        exit 1
+    fi
+done
+
+# Six tenants through two replica slots must have churned the pool.
+STATS=$(fetch "http://$ADDR/stats")
+case "$STATS" in
+*'"evictions":0,'*|*'"evictions":0}'*)
+    echo "registry-smoke: /stats reports zero evictions despite pool 2 < 6 tenants: $STATS" >&2
+    exit 1 ;;
+*'"evictions":'*) ;;
+*)
+    echo "registry-smoke: /stats is missing the evictions gauge: $STATS" >&2
+    exit 1 ;;
+esac
+
+# Per-tenant stats answer without waking a parked tenant.
+TSTATS=$(fetch "http://$ADDR/t/alpha/stats")
+case "$TSTATS" in
+*'"id":"alpha"'*) ;;
+*)
+    echo "registry-smoke: GET /t/alpha/stats did not answer for alpha: $TSTATS" >&2
+    exit 1 ;;
+esac
+
+# DELETE drains and removes: gamma must disappear from /models.
+echo "registry-smoke: DELETE /t/gamma..."
+if command -v curl >/dev/null 2>&1; then
+    curl -fsS -X DELETE "http://$ADDR/t/gamma" >/dev/null
+else
+    wget -qO- --method=DELETE "http://$ADDR/t/gamma" >/dev/null
+fi
+MODELS=$(fetch "http://$ADDR/models")
+case "$MODELS" in
+*'"gamma"'*)
+    echo "registry-smoke: gamma still listed after DELETE: $MODELS" >&2
+    exit 1 ;;
+esac
+
+echo "registry-smoke: draining server with SIGTERM..."
+kill -TERM "$SERVE_PID"
+STATUS=0
+wait "$SERVE_PID" || STATUS=$?
+SERVE_PID=""
+if [ "$STATUS" -ne 0 ]; then
+    echo "registry-smoke: server exited with status $STATUS; log:"
+    cat "$TMP/serve.log"
+    exit 1
+fi
+if ! grep -q "bye:" "$TMP/serve.log"; then
+    echo "registry-smoke: server never reported a completed drain; log:"
+    cat "$TMP/serve.log"
+    exit 1
+fi
+echo "registry-smoke: OK (3 boot + 3 PUT tenants, JSON+binary traffic, evictions observed, per-tenant stats, DELETE drain, clean SIGTERM)"

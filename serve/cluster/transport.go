@@ -125,11 +125,18 @@ type workerURLs struct {
 // NewHTTPTransport returns a transport with a connection-pooled client
 // sized for coordinator fan-out (keep-alive connections to every worker,
 // no global timeout — the coordinator propagates deadlines per call).
+//
+// MaxIdleConnsPerHost must be at least the coordinator's per-worker
+// concurrency: the stdlib default (2) — and anything below the client
+// fan-out — closes the surplus connections after every burst, so a
+// closed loop at chaos-smoke concurrency re-dials the same worker on
+// almost every request. 64 per host covers the chunk fan-out plus
+// hedges; TestHTTPTransportConnectionReuse pins the no-churn behavior.
 func NewHTTPTransport() *HTTPTransport {
 	return &HTTPTransport{Client: &http.Client{
 		Transport: &http.Transport{
-			MaxIdleConns:        64,
-			MaxIdleConnsPerHost: 16,
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 64,
 			IdleConnTimeout:     90 * time.Second,
 		},
 	}}

@@ -559,3 +559,40 @@ func statusFor(err error) int {
 	}
 	return http.StatusBadRequest
 }
+
+// The Serve* methods expose each endpoint handler for mounting under an
+// outer router — serve/registry dispatches /t/{model}/... requests to the
+// tenant's Server through them without rewriting the request path (which
+// would cost a request clone per call). Each behaves exactly like the
+// corresponding route on Handler; method filtering is the outer router's
+// job.
+
+// ServePredict handles a POST /predict request (JSON or binary frame).
+func (s *Server) ServePredict(w http.ResponseWriter, r *http.Request) { s.handlePredict(w, r) }
+
+// ServePredictBatch handles a POST /predict_batch request (JSON or binary
+// frame).
+func (s *Server) ServePredictBatch(w http.ResponseWriter, r *http.Request) {
+	s.handlePredictBatch(w, r)
+}
+
+// ServeHealthz handles a GET /healthz request.
+func (s *Server) ServeHealthz(w http.ResponseWriter, r *http.Request) { s.handleHealthz(w, r) }
+
+// ServeStats handles a GET /stats request.
+func (s *Server) ServeStats(w http.ResponseWriter, r *http.Request) { s.handleStats(w, r) }
+
+// ServeModel handles a GET /model request.
+func (s *Server) ServeModel(w http.ResponseWriter, r *http.Request) { s.handleModel(w, r) }
+
+// ServeSwap handles a POST /swap request.
+func (s *Server) ServeSwap(w http.ResponseWriter, r *http.Request) { s.handleSwap(w, r) }
+
+// ServeLearn handles a POST /learn request (JSON or binary frame).
+func (s *Server) ServeLearn(w http.ResponseWriter, r *http.Request) { s.handleLearn(w, r) }
+
+// ServeRetrain handles a POST /retrain request.
+func (s *Server) ServeRetrain(w http.ResponseWriter, r *http.Request) { s.handleRetrain(w, r) }
+
+// ServeQuantize handles a POST /quantize request.
+func (s *Server) ServeQuantize(w http.ResponseWriter, r *http.Request) { s.handleQuantize(w, r) }

@@ -1,0 +1,527 @@
+// Package registry is the multi-tenant serving layer: one process, many
+// models. A Registry keys full serving units — a serve.Batcher with its
+// Swapper, optionally a serve.Learner, f32 or 1-bit quantized — by model
+// ID and exposes every per-model endpoint of the single-model server under
+// /t/{model}/..., with a default-tenant alias keeping the single-model
+// routes working unchanged.
+//
+// What makes it a platform rather than a demo is the shared replica
+// budget: every resident tenant's Batcher holds Replicas worker
+// goroutines, each with a leased scratch arena sized for that tenant's
+// shape (features × D × classes — tenants are heterogeneous), and the
+// Registry caps the TOTAL resident replicas at a fixed pool capacity.
+// A request for a parked tenant wakes it, parking the least-recently-used
+// idle tenants to make room (their scratch is released; the model itself
+// stays registered and is rebuilt into a fresh Batcher on the next hit).
+// When no idle tenant can be parked — every resident replica is actively
+// serving — admission fails with ErrPoolExhausted and the HTTP layer
+// answers 429, so a process serving N tenants can never allocate
+// unboundedly, however many models are registered.
+//
+// Concurrency contract: Acquire/Release bracket every request. Acquire
+// touches the LRU clock and pins the tenant resident (an in-flight request
+// is never evicted under); Release unpins. Remove and Install drain —
+// they wait until the tenant is idle — so a request admitted before a
+// DELETE always completes. The steady-state Acquire/Release pair is one
+// mutex lock and no allocations, preserving the serving hot path's
+// zero-alloc contract per tenant.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	disthd "repro"
+	"repro/serve"
+)
+
+// ErrPoolExhausted is returned by Acquire when waking the tenant would
+// exceed the replica pool capacity and every resident tenant is actively
+// serving (nothing idle to park). The HTTP layer maps it to 429.
+var ErrPoolExhausted = errors.New("registry: replica pool exhausted")
+
+// ErrUnknownTenant is returned for a model ID that is not registered (or
+// is mid-removal). The HTTP layer maps it to 404.
+var ErrUnknownTenant = errors.New("registry: unknown tenant")
+
+// ErrClosed is returned by every operation after Close.
+var ErrClosed = errors.New("registry: closed")
+
+// Spec configures one tenant's serving unit. The zero value serves with
+// one replica, the serve.Options defaults otherwise, and no learner.
+type Spec struct {
+	// Options configures the tenant's Batcher. Replicas defaults to 1 —
+	// not GOMAXPROCS as in the single-model server, because a multi-tenant
+	// process shares cores across tenants and the pool accounts replicas,
+	// so the default must be the cheapest resident footprint.
+	Options serve.Options
+	// Learner, when non-nil, attaches online learning (/learn, /retrain,
+	// gated background retraining) to the tenant while it is resident.
+	// Learner state — the feedback window, drift baseline, gate gauges —
+	// lives with the serving unit: parking a tenant releases it along with
+	// the scratch, and the next wake starts a fresh learner over the
+	// latest published model. Hot tenants are never parked, so in practice
+	// only cold tenants forget their window.
+	Learner *serve.LearnerOptions
+}
+
+// withDefaults resolves the registry-level defaults.
+func (s Spec) withDefaults() Spec {
+	if s.Options.Replicas == 0 {
+		s.Options.Replicas = 1
+	}
+	return s
+}
+
+// Tenant is one registered model with its serving state. All mutable
+// fields are guarded by the owning Registry's lock; the exported methods
+// take it.
+type Tenant struct {
+	reg  *Registry
+	id   string
+	spec Spec
+
+	// model is authoritative while parked; while resident the unit's
+	// Swapper is (park copies the pointer back, so swaps, retrains, and
+	// quantizations published while resident survive eviction).
+	model *disthd.Model
+
+	resident  bool
+	removing  bool
+	inflight  int
+	lastUse   uint64        // registry LRU clock value at the last Acquire
+	srv       *serve.Server // non-nil while resident
+	installed time.Time
+
+	wakes     uint64 // times this tenant was made resident (first install included)
+	evictions uint64 // times this tenant was parked to reclaim pool capacity
+	rejected  uint64 // Acquire calls answered ErrPoolExhausted for this tenant
+}
+
+// ID returns the tenant's model ID.
+func (t *Tenant) ID() string { return t.id }
+
+// Server returns the tenant's serving unit. It is only valid between the
+// Acquire that returned this tenant and the matching Release — outside
+// that window the tenant may be parked and the unit closed.
+func (t *Tenant) Server() *serve.Server { return t.srv }
+
+// Registry holds the tenants and the shared replica pool. Create one with
+// New, Install models into it, and bracket every request with
+// Acquire/Release (the HTTP layer in this package does).
+type Registry struct {
+	mu       sync.Mutex
+	cond     *sync.Cond // signaled when a tenant goes idle (inflight drops to 0)
+	capacity int
+	used     int
+	clock    uint64
+	tenants  map[string]*Tenant
+	order    []*Tenant // insertion order, for deterministic listings
+	def      string    // default tenant ID ("" = none)
+	closed   bool
+
+	evictions  atomic.Uint64
+	rejections atomic.Uint64
+	wakes      atomic.Uint64 // re-wakes of previously parked tenants
+}
+
+// New creates an empty registry whose resident tenants may hold at most
+// capacity replicas in total. capacity must be positive; every Install
+// whose Spec asks for more replicas than the whole pool is rejected up
+// front.
+func New(capacity int) (*Registry, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("registry: pool capacity %d, want >= 1", capacity)
+	}
+	r := &Registry{capacity: capacity, tenants: make(map[string]*Tenant)}
+	r.cond = sync.NewCond(&r.mu)
+	return r, nil
+}
+
+// Capacity returns the replica pool capacity.
+func (r *Registry) Capacity() int { return r.capacity }
+
+// Install registers m as tenant id, replacing an existing tenant of the
+// same ID (the replacement drains first: in-flight requests complete on
+// the old unit). The new tenant is installed resident when the pool has
+// room — parking colder tenants if needed — and parked otherwise, waking
+// on its first request. The first installed tenant becomes the default.
+func (r *Registry) Install(id string, m *disthd.Model, spec Spec) error {
+	if id == "" {
+		return fmt.Errorf("registry: empty tenant ID")
+	}
+	if m == nil {
+		return fmt.Errorf("registry: tenant %q needs a model", id)
+	}
+	sp := spec.withDefaults()
+	if sp.Options.Replicas > r.capacity {
+		return fmt.Errorf("registry: tenant %q wants %d replicas, pool capacity is %d",
+			id, sp.Options.Replicas, r.capacity)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	if old := r.tenants[id]; old != nil {
+		if err := r.drainLocked(old); err != nil {
+			return err
+		}
+		r.dropLocked(old)
+	}
+	t := &Tenant{reg: r, id: id, spec: sp, model: m, installed: time.Now()}
+	r.tenants[id] = t
+	r.order = append(r.order, t)
+	if r.def == "" {
+		r.def = id
+	}
+	// Best-effort residency at install time: a tenant that fits serves its
+	// first request without paying the wake; one that doesn't stays parked
+	// rather than failing the install.
+	if err := r.wakeLocked(t); err != nil && !errors.Is(err, ErrPoolExhausted) {
+		r.dropLocked(t)
+		return err
+	}
+	return nil
+}
+
+// Remove drains tenant id — new requests get ErrUnknownTenant, in-flight
+// ones complete — then parks it and deletes the registration.
+func (r *Registry) Remove(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	t := r.tenants[id]
+	if t == nil || t.removing {
+		return ErrUnknownTenant
+	}
+	if err := r.drainLocked(t); err != nil {
+		return err
+	}
+	r.dropLocked(t)
+	return nil
+}
+
+// drainLocked marks t removing (hiding it from Acquire), waits until its
+// in-flight requests complete, and parks it. The registry lock is held;
+// cond.Wait releases it while blocked, so traffic to other tenants flows.
+func (r *Registry) drainLocked(t *Tenant) error {
+	t.removing = true
+	for t.inflight > 0 {
+		r.cond.Wait()
+		if r.closed {
+			return ErrClosed
+		}
+	}
+	if t.resident {
+		r.parkLocked(t, false)
+	}
+	return nil
+}
+
+// dropLocked deletes a drained tenant's registration.
+func (r *Registry) dropLocked(t *Tenant) {
+	delete(r.tenants, t.id)
+	for i, o := range r.order {
+		if o == t {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	if r.def == t.id {
+		r.def = ""
+		if len(r.order) > 0 {
+			r.def = r.order[0].id
+		}
+	}
+}
+
+// SetDefault names the tenant the single-model alias routes (/predict,
+// /predict_batch, ...) resolve to.
+func (r *Registry) SetDefault(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.tenants[id] == nil {
+		return ErrUnknownTenant
+	}
+	r.def = id
+	return nil
+}
+
+// Default returns the default tenant ID, "" when none is set.
+func (r *Registry) Default() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.def
+}
+
+// Acquire resolves id ("" selects the default tenant) to its serving
+// unit, waking a parked tenant — evicting colder idle tenants if the pool
+// is full — and pins it resident until the matching Release. The
+// steady-state call (tenant resident) takes one mutex and allocates
+// nothing.
+func (r *Registry) Acquire(id string) (*Tenant, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrClosed
+	}
+	if id == "" {
+		id = r.def
+	}
+	t := r.tenants[id]
+	if t == nil || t.removing {
+		return nil, ErrUnknownTenant
+	}
+	if !t.resident {
+		if err := r.wakeLocked(t); err != nil {
+			if errors.Is(err, ErrPoolExhausted) {
+				t.rejected++
+				r.rejections.Add(1)
+			}
+			return nil, err
+		}
+	}
+	t.inflight++
+	r.clock++
+	t.lastUse = r.clock
+	return t, nil
+}
+
+// Release unpins a tenant acquired with Acquire.
+func (r *Registry) Release(t *Tenant) {
+	r.mu.Lock()
+	t.inflight--
+	if t.inflight == 0 {
+		r.cond.Broadcast()
+	}
+	r.mu.Unlock()
+}
+
+// wakeLocked makes t resident: reclaim pool capacity by parking the
+// least-recently-used idle tenants, then build the serving unit — a fresh
+// Batcher over the tenant's latest model, wrapped in a serve.Server, with
+// a learner attached when the spec asks for one.
+func (r *Registry) wakeLocked(t *Tenant) error {
+	need := t.spec.Options.Replicas
+	for r.used+need > r.capacity {
+		v := r.victimLocked(t)
+		if v == nil {
+			return fmt.Errorf("%w: tenant %q needs %d replicas, %d/%d in use and no idle tenant to park",
+				ErrPoolExhausted, t.id, need, r.used, r.capacity)
+		}
+		r.parkLocked(v, true)
+	}
+	srv, err := serve.New(t.model, t.spec.Options)
+	if err != nil {
+		return fmt.Errorf("registry: wake tenant %q: %w", t.id, err)
+	}
+	if t.spec.Learner != nil {
+		l, err := serve.NewLearner(srv.Batcher().Swapper(), *t.spec.Learner)
+		if err != nil {
+			srv.Batcher().Close()
+			return fmt.Errorf("registry: wake tenant %q: %w", t.id, err)
+		}
+		srv.AttachLearner(l)
+	}
+	t.srv = srv
+	t.resident = true
+	r.used += need
+	t.wakes++
+	if t.wakes > 1 {
+		r.wakes.Add(1)
+	}
+	return nil
+}
+
+// victimLocked picks the least-recently-used resident tenant that is idle
+// (no in-flight request) and is not exempt. Tenant counts are small, so a
+// linear scan beats maintaining an intrusive list.
+func (r *Registry) victimLocked(exempt *Tenant) *Tenant {
+	var victim *Tenant
+	for _, t := range r.order {
+		if t == exempt || !t.resident || t.inflight > 0 {
+			continue
+		}
+		if victim == nil || t.lastUse < victim.lastUse {
+			victim = t
+		}
+	}
+	return victim
+}
+
+// parkLocked releases an idle resident tenant's serving unit: the Batcher
+// drains (its queue is empty — the tenant has no in-flight request — so
+// the close is prompt) and the latest published model is copied back as
+// the tenant's authoritative snapshot, so a swap, gated retrain, or
+// quantization that landed while resident survives the eviction. A
+// learner's in-flight background retrain, if any, finishes against the
+// discarded Swapper and is dropped with it.
+func (r *Registry) parkLocked(t *Tenant, evicted bool) {
+	bat := t.srv.Batcher()
+	bat.Close()
+	// Read the published model only after the batcher has quiesced, so a
+	// swap landing mid-drain is not lost. The Swapper outlives the batcher;
+	// Model() after Close is just an atomic load.
+	t.model = bat.Model()
+	t.srv = nil
+	t.resident = false
+	r.used -= t.spec.Options.Replicas
+	if evicted {
+		t.evictions++
+		r.evictions.Add(1)
+	}
+}
+
+// Close drains every tenant and shuts the registry down: in-flight
+// requests complete, parked state is kept only in memory, and every later
+// operation returns ErrClosed.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	// Closed flips first so a request arriving mid-drain gets ErrClosed
+	// (503, the closing-Batcher answer) rather than a misleading 404.
+	r.closed = true
+	for _, t := range r.order {
+		for t.inflight > 0 {
+			r.cond.Wait()
+		}
+		if t.resident {
+			r.parkLocked(t, false)
+		}
+	}
+	r.cond.Broadcast()
+}
+
+// TenantStats is one tenant's row in the aggregate Stats and the
+// GET /models listing.
+type TenantStats struct {
+	// ID is the tenant's model ID.
+	ID string `json:"id"`
+	// Resident is whether the tenant currently holds pool replicas.
+	Resident bool `json:"resident"`
+	// Replicas is the tenant's configured replica count (its pool cost
+	// while resident).
+	Replicas int `json:"replicas"`
+	// Inflight is the number of requests holding the tenant right now.
+	Inflight int `json:"inflight"`
+	// Features, Dim, and Classes give the tenant's model shape — tenants
+	// are heterogeneous, which is the point.
+	Features int `json:"features"`
+	Dim      int `json:"dim"`
+	Classes  int `json:"classes"`
+	// Quantized is whether the tenant's current model is the 1-bit tier.
+	Quantized bool `json:"quantized"`
+	// Learning is whether the tenant's spec attaches a learner.
+	Learning bool `json:"learning"`
+	// Wakes counts times the tenant became resident (install included).
+	Wakes uint64 `json:"wakes"`
+	// Evictions counts times the tenant was parked to reclaim capacity.
+	Evictions uint64 `json:"evictions"`
+	// Rejections counts Acquire calls for this tenant answered 429.
+	Rejections uint64 `json:"rejections"`
+	// InstalledUnix is the wall-clock second the tenant was installed.
+	InstalledUnix int64 `json:"installed_unix"`
+	// Serve is the tenant's serving snapshot while resident (batcher
+	// counters, learner and quantization gauges), nil while parked.
+	Serve *serve.Snapshot `json:"serve,omitempty"`
+}
+
+// Stats is the aggregate registry snapshot (`GET /stats` in registry mode
+// returns exactly this).
+type Stats struct {
+	// Capacity and UsedReplicas describe the shared replica pool.
+	Capacity     int `json:"capacity"`
+	UsedReplicas int `json:"used_replicas"`
+	// TenantCount and ResidentCount count registered and resident tenants.
+	TenantCount   int `json:"tenants"`
+	ResidentCount int `json:"resident"`
+	// Evictions counts tenants parked to reclaim capacity (LRU churn).
+	Evictions uint64 `json:"evictions"`
+	// AdmissionRejections counts Acquire calls answered 429 because the
+	// pool was genuinely exhausted.
+	AdmissionRejections uint64 `json:"admission_rejections"`
+	// Wakes counts re-wakes of previously parked tenants (installs are
+	// not counted — churn is what this gauge watches).
+	Wakes uint64 `json:"wakes"`
+	// DefaultTenant is the ID the single-model alias routes resolve to.
+	DefaultTenant string `json:"default_tenant"`
+	// PerTenant lists every registered tenant in install order.
+	PerTenant []TenantStats `json:"per_tenant"`
+}
+
+// Stats assembles the aggregate snapshot. It is safe to call under
+// traffic; per-tenant serve snapshots are taken without stopping it.
+func (r *Registry) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Stats{
+		Capacity:            r.capacity,
+		UsedReplicas:        r.used,
+		TenantCount:         len(r.order),
+		Evictions:           r.evictions.Load(),
+		AdmissionRejections: r.rejections.Load(),
+		Wakes:               r.wakes.Load(),
+		DefaultTenant:       r.def,
+		PerTenant:           make([]TenantStats, 0, len(r.order)),
+	}
+	for _, t := range r.order {
+		if t.resident {
+			s.ResidentCount++
+		}
+		s.PerTenant = append(s.PerTenant, r.tenantStatsLocked(t))
+	}
+	return s
+}
+
+// tenantStatsLocked builds one tenant's stats row.
+func (r *Registry) tenantStatsLocked(t *Tenant) TenantStats {
+	m := t.model
+	if t.resident {
+		m = t.srv.Batcher().Model()
+	}
+	ts := TenantStats{
+		ID:            t.id,
+		Resident:      t.resident,
+		Replicas:      t.spec.Options.Replicas,
+		Inflight:      t.inflight,
+		Features:      m.Features(),
+		Dim:           m.Dim(),
+		Classes:       m.Classes(),
+		Quantized:     m.Quantized(),
+		Learning:      t.spec.Learner != nil,
+		Wakes:         t.wakes,
+		Evictions:     t.evictions,
+		Rejections:    t.rejected,
+		InstalledUnix: t.installed.Unix(),
+	}
+	if t.resident {
+		snap := t.srv.Stats()
+		ts.Serve = &snap
+	}
+	return ts
+}
+
+// TenantStats returns one tenant's stats row, for /t/{model}/stats-style
+// queries about a parked tenant (a resident tenant's serve snapshot is
+// usually read through its Server instead).
+func (r *Registry) TenantStats(id string) (TenantStats, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id == "" {
+		id = r.def
+	}
+	t := r.tenants[id]
+	if t == nil || t.removing {
+		return TenantStats{}, ErrUnknownTenant
+	}
+	return r.tenantStatsLocked(t), nil
+}
