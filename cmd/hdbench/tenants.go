@@ -18,18 +18,27 @@ import (
 )
 
 // tenantWorkload is one tenant of the mixed workload: its model spec,
-// query rows, and the latency samples the closed loop collected for it.
+// query rows with labels, and the latency samples the closed loop
+// collected for it.
 type tenantWorkload struct {
 	id      string
 	dataset string
 	dim     int
 	rows    [][]float64
+	labels  []int // feedback labels for the learn share of the traffic
 
 	mu        sync.Mutex
 	latencies []float64 // seconds per request round trip
 	served    atomic.Uint64
+	learned   atomic.Uint64 // labeled feedback samples fed through /learn
 	throttled atomic.Uint64 // 429 / ErrPoolExhausted retries
 }
+
+// learnEvery is the mixed workload's learn share: every learnEvery-th
+// request per tenant is labeled feedback instead of a prediction, so
+// every tenant carries live learner state and eviction churn exercises
+// the park/wake learner-continuity path, not just model re-residency.
+const learnEvery = 8
 
 // observe records one served request's latency.
 func (t *tenantWorkload) observe(d time.Duration) {
@@ -89,6 +98,7 @@ func buildTenantWorkloads(o loadgenOptions, w io.Writer) ([]*tenantWorkload, []*
 			return nil, nil, err
 		}
 		tw.rows = test.X
+		tw.labels = test.Y
 		loads = append(loads, tw)
 		models = append(models, m)
 	}
@@ -98,14 +108,14 @@ func buildTenantWorkloads(o loadgenOptions, w io.Writer) ([]*tenantWorkload, []*
 // reportTenants prints the per-tenant table and the registry churn line.
 func reportTenants(w io.Writer, loads []*tenantWorkload, elapsed time.Duration,
 	evictions, wakes, rejections uint64) {
-	fmt.Fprintf(w, "\n%8s %10s %6s %10s %10s %10s %10s %8s\n",
-		"tenant", "dataset", "D", "requests", "req/s", "p50(ms)", "p99(ms)", "429s")
+	fmt.Fprintf(w, "\n%8s %10s %6s %10s %10s %10s %10s %8s %8s\n",
+		"tenant", "dataset", "D", "requests", "req/s", "p50(ms)", "p99(ms)", "learns", "429s")
 	for _, t := range loads {
 		served := t.served.Load()
-		fmt.Fprintf(w, "%8s %10s %6d %10d %10.0f %10.2f %10.2f %8d\n",
+		fmt.Fprintf(w, "%8s %10s %6d %10d %10.0f %10.2f %10.2f %8d %8d\n",
 			t.id, t.dataset, t.dim, served,
 			float64(served)/elapsed.Seconds(), t.quantile(0.50), t.quantile(0.99),
-			t.throttled.Load())
+			t.learned.Load(), t.throttled.Load())
 	}
 	fmt.Fprintf(w, "\nregistry churn: %d evictions, %d re-wakes, %d admission rejections\n",
 		evictions, wakes, rejections)
@@ -114,11 +124,14 @@ func reportTenants(w io.Writer, loads []*tenantWorkload, elapsed time.Duration,
 // runLoadgenTenants is the -tenants mixed-workload mode: N tenants with
 // heterogeneous shapes served from ONE registry, concurrent clients
 // spraying requests across all of them, per-tenant latency quantiles and
-// the eviction churn the shared replica pool produced. In-process it
+// the eviction churn the shared replica pool produced. Every tenant
+// carries a learner and a 1-in-learnEvery labeled-feedback share, so LRU
+// churn also exercises learner park/wake continuity. In-process it
 // builds the registry directly (cap it with -pool to force LRU churn);
 // with -http it installs the tenants on a live `disthd-serve -registry`
-// via PUT /t/{id} and drives /t/{id}/predict_batch in the -wire format,
-// treating 429 as backpressure to retry — zero requests dropped.
+// via PUT /t/{id} and drives /t/{id}/predict_batch and /t/{id}/learn in
+// the -wire format, treating 429 as backpressure to retry after the
+// server's Retry-After — zero requests dropped.
 func runLoadgenTenants(o loadgenOptions, w io.Writer) error {
 	if o.httpTarget != "" {
 		return runLoadgenTenantsHTTP(o, w)
@@ -139,6 +152,7 @@ func runLoadgenTenants(o loadgenOptions, w io.Writer) error {
 	for i, t := range loads {
 		err := reg.Install(t.id, models[i], registry.Spec{
 			Options: serve.Options{MaxBatch: o.maxBatch, MaxDelay: o.maxDelay, Replicas: 1},
+			Learner: &serve.LearnerOptions{Seed: o.seed + uint64(i)},
 		})
 		if err != nil {
 			return err
@@ -151,7 +165,9 @@ func runLoadgenTenants(o loadgenOptions, w io.Writer) error {
 	start := time.Now()
 	closedLoopN(conc, o.duration, len(loads), func(i int) error {
 		t := loads[i]
-		x := t.rows[int(t.served.Load())%len(t.rows)]
+		seq := int(t.served.Load() + t.learned.Load())
+		x := t.rows[seq%len(t.rows)]
+		learn := seq%learnEvery == learnEvery-1
 		for {
 			reqStart := time.Now()
 			h, err := reg.Acquire(t.id)
@@ -162,6 +178,15 @@ func runLoadgenTenants(o loadgenOptions, w io.Writer) error {
 			}
 			if err != nil {
 				return err
+			}
+			if learn {
+				_, err = h.Server().Learner().Feed(x, t.labels[seq%len(t.labels)])
+				reg.Release(h)
+				if err != nil {
+					return err
+				}
+				t.learned.Add(1)
+				return nil
 			}
 			_, err = h.Server().Batcher().Predict(x)
 			reg.Release(h)
@@ -203,9 +228,11 @@ func runLoadgenTenantsHTTP(o loadgenOptions, w io.Writer) error {
 			return err
 		}
 		tw.rows = test.X
+		tw.labels = test.Y
 		spec, _ := json.Marshal(map[string]any{
 			"demo": tw.dataset, "dim": tw.dim, "scale": o.scale,
 			"seed": o.seed + uint64(i), "max_batch": o.maxBatch,
+			"learn": true,
 		})
 		fmt.Fprintf(w, "loadgen: installing tenant %s (%s, D=%d) on %s...\n", tw.id, tw.dataset, tw.dim, base)
 		req, err := http.NewRequest(http.MethodPut, base+"/t/"+tw.id, strings.NewReader(string(spec)))
@@ -233,14 +260,23 @@ func runLoadgenTenantsHTTP(o loadgenOptions, w io.Writer) error {
 	var firstErr atomic.Value
 	closedLoopN(conc, o.duration, len(loads), func(i int) error {
 		t := loads[i]
-		pos := int(t.served.Load()) % (len(t.rows) - lgHTTPBatch + 1)
+		seq := int(t.served.Load() + t.learned.Load())
+		pos := seq % (len(t.rows) - lgHTTPBatch + 1)
 		rows := t.rows[pos : pos+lgHTTPBatch]
+		learn := seq%learnEvery == learnEvery-1
 		for {
 			reqStart := time.Now()
-			_, err := postBatch(hc, base+"/t/"+t.id, o.wire, rows)
+			var err error
+			if learn {
+				err = postLearn(hc, base+"/t/"+t.id, o.wire, t.rows[pos], t.labels[pos])
+			} else {
+				_, err = postBatch(hc, base+"/t/"+t.id, o.wire, rows)
+			}
 			if errors.Is(err, errThrottled) {
 				t.throttled.Add(1)
-				time.Sleep(time.Millisecond) // backpressure: back off, retry, never drop
+				// Backpressure: back off for as long as the server's
+				// Retry-After asks, retry, never drop.
+				time.Sleep(retryAfter(err, time.Millisecond))
 				continue
 			}
 			if err != nil {
@@ -248,6 +284,10 @@ func runLoadgenTenantsHTTP(o loadgenOptions, w io.Writer) error {
 					firstErr.Store(err)
 				}
 				return err
+			}
+			if learn {
+				t.learned.Add(1)
+				return nil
 			}
 			t.observe(time.Since(reqStart))
 			return nil

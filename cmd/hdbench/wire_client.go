@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"time"
 
 	"repro/serve/wire"
 )
@@ -25,8 +27,40 @@ const (
 )
 
 // errThrottled marks a 429 from a registry target's admission control —
-// backpressure to retry, not a failure.
+// backpressure to retry, not a failure. Concrete 429s are returned as a
+// *throttledError (which matches errThrottled under errors.Is) so retry
+// loops can honor the server's Retry-After.
 var errThrottled = errors.New("throttled (429): registry pool exhausted")
+
+// throttledError is a 429 with the server's Retry-After parsed out.
+type throttledError struct {
+	retryAfter time.Duration // 0 when the header was absent or unparsable
+}
+
+func (e *throttledError) Error() string        { return errThrottled.Error() }
+func (e *throttledError) Is(target error) bool { return target == errThrottled }
+
+// newThrottledError captures resp's Retry-After (delta-seconds form; the
+// HTTP-date form is not worth parsing for a benchmark client).
+func newThrottledError(resp *http.Response) error {
+	var d time.Duration
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+			d = time.Duration(secs) * time.Second
+		}
+	}
+	return &throttledError{retryAfter: d}
+}
+
+// retryAfter extracts the server-requested backoff from a throttled
+// error, falling back when the server did not name one.
+func retryAfter(err error, fallback time.Duration) time.Duration {
+	var te *throttledError
+	if errors.As(err, &te) && te.retryAfter > 0 {
+		return te.retryAfter
+	}
+	return fallback
+}
 
 // checkWire validates the -wire flag value.
 func checkWire(s string) error {
@@ -96,7 +130,7 @@ func postBatch(hc *http.Client, base, wireFmt string, rows [][]float64) ([]int, 
 		return nil, err
 	}
 	if resp.StatusCode == http.StatusTooManyRequests {
-		return nil, errThrottled
+		return nil, newThrottledError(resp)
 	}
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("POST /predict_batch: %d: %s", resp.StatusCode, bytes.TrimSpace(body))
@@ -122,6 +156,10 @@ func postLearn(hc *http.Client, base, wireFmt string, x []float64, label int) er
 		return err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		io.Copy(io.Discard, resp.Body)
+		return newThrottledError(resp)
+	}
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return fmt.Errorf("POST /learn: %d: %s", resp.StatusCode, bytes.TrimSpace(msg))

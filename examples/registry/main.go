@@ -5,7 +5,8 @@
 // tenant count so LRU parking is visible, then driven over the
 // /t/{model}/... HTTP surface: per-tenant predictions, the
 // default-tenant alias, a fourth tenant installed live over
-// PUT /t/{model}, per-tenant and aggregate stats, and a drain.
+// PUT /t/{model}, per-tenant and aggregate stats, a learning tenant
+// whose feedback window survives being parked, and a drain.
 package main
 
 import (
@@ -24,11 +25,13 @@ import (
 )
 
 // tenant is one workload to install: a model ID, the synthetic
-// benchmark standing in for its data, and its hypervector width.
+// benchmark standing in for its data, its hypervector width, and
+// whether it keeps learning from labeled feedback in production.
 type tenant struct {
 	id      string
 	dataset string
 	dim     int
+	learn   bool
 }
 
 func main() {
@@ -37,9 +40,9 @@ func main() {
 	//    registry serves them all from one process; per-tenant replica
 	//    scratch keeps the zero-alloc batched path intact for each shape.
 	tenants := []tenant{
-		{"voice", "ISOLET", 1024},
-		{"activity", "PAMAP2", 512},
-		{"vitals", "DIABETES", 256},
+		{"voice", "ISOLET", 1024, false},
+		{"activity", "PAMAP2", 512, false},
+		{"vitals", "DIABETES", 256, true}, // vitals keeps learning in production
 	}
 	reg, err := registry.New(2) // pool of 2 replica slots < 3 tenants: someone always parks
 	if err != nil {
@@ -59,10 +62,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		err = reg.Install(t.id, m, registry.Spec{
+		spec := registry.Spec{
 			Options: serve.Options{MaxBatch: 64, MaxDelay: 2 * time.Millisecond, Replicas: 1},
-		})
-		if err != nil {
+		}
+		if t.learn {
+			spec.Learner = &serve.LearnerOptions{Seed: 1}
+		}
+		if err := reg.Install(t.id, m, spec); err != nil {
 			log.Fatal(err)
 		}
 		tests[t.id] = test
@@ -149,8 +155,41 @@ func main() {
 	fmt.Printf("registry: %d/%d replica slots used by %d/%d resident tenants; %d evictions, %d wakes\n",
 		agg.UsedReplicas, agg.Capacity, agg.ResidentCount, agg.TenantCount, agg.Evictions, agg.Wakes)
 
-	// 7. Drain: every tenant's accepted micro-batches are answered before
-	//    the registry reports closed.
+	// 7. Parking is lossless for learners. "vitals" was installed with a
+	//    learner: feed it labeled samples over /learn, then force it out
+	//    of the pool by touching the other tenants. While parked its
+	//    /stats still reports the frozen learner gauges, and the next
+	//    feedback sample wakes it with the window, drift baseline, and
+	//    counters exactly where they stopped — eviction churn never
+	//    resets a tenant to a cold learner.
+	vt := tests["vitals"]
+	for i := 0; i < 8; i++ {
+		if err := postLearn(base+"/t/vitals", vt.X[i], vt.Y[i]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, id := range []string{"voice", "activity"} { // 2 wakes through pool 2 park vitals
+		if _, err := postBatch(base+"/t/"+id, tests[id].X[:1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := getJSON(base+"/t/vitals/stats", &ts); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("vitals parked: resident=%v, frozen learner gauges feedback=%d\n",
+		ts.Resident, ts.Learner.Feedback)
+	if err := postLearn(base+"/t/vitals", vt.X[8], vt.Y[8]); err != nil { // wakes vitals
+		log.Fatal(err)
+	}
+	if err := getJSON(base+"/t/vitals/stats", &ts); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("vitals woken: resident=%v, learner feedback=%d (continued, not reset)\n",
+		ts.Resident, ts.Serve.Learner.Feedback)
+
+	// 8. Drain: every tenant's accepted micro-batches are answered before
+	//    the registry reports closed; learners are settled on the way out,
+	//    so no background retrain outlives the process.
 	hs.Close()
 	srv.Close()
 	fmt.Println("drained cleanly")
@@ -178,6 +217,23 @@ func postBatch(base string, rows [][]float64) ([]int, error) {
 		return nil, err
 	}
 	return out.Classes, nil
+}
+
+// postLearn sends one labeled feedback sample to {base}/learn.
+func postLearn(base string, x []float64, label int) error {
+	body, err := json.Marshal(map[string]any{"x": x, "label": label})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/learn", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("learn: %s", resp.Status)
+	}
+	return nil
 }
 
 // getJSON decodes a GET response body into out.

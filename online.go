@@ -595,6 +595,162 @@ func (l *OnlineLearner) SplitWindow() (trainX [][]float64, trainY []int, holdX [
 // rejected (RetrainGated only; plain Retrain never rejects).
 func (l *OnlineLearner) Rejections() uint64 { return l.rejections }
 
+// LearnerState is a deep, self-contained snapshot of an OnlineLearner's
+// mutable state: the feedback window ring, the recent-accuracy ring with
+// its per-class tallies, the frozen post-bind baseline, the reservoir
+// sampler position, and the lifetime counters. Export produces one and
+// NewOnlineLearnerFromState rebuilds a learner from it, bit-for-bit —
+// the park/wake substrate serve/registry uses so evicting a learning
+// tenant never costs it its window, drift state, or counters. Every
+// field is a plain value or a fresh slice, so a state survives the
+// learner it came from and can be serialized by any encoding that
+// round-trips the field types exactly.
+type LearnerState struct {
+	// WinX is the feedback window's sample backing array, row-major at
+	// full Window capacity (Window × features); WinY holds the labels.
+	WinX []float64
+	// WinY is the feedback window's label backing array (Window slots).
+	WinY []int
+	// WinLen is how many window slots hold samples.
+	WinLen int
+	// WinPos is the next slot the sliding ring overwrites.
+	WinPos int
+	// Seen is the feedback stream length so far (reservoir admission).
+	Seen uint64
+	// Sampler, SamplerGauss, and SamplerHasGauss freeze the reservoir
+	// sampler's position in its random stream, so reservoir admission
+	// after a restore draws exactly what the original learner would have.
+	Sampler [4]uint64
+	// SamplerGauss is the sampler's cached Box-Muller variate.
+	SamplerGauss float64
+	// SamplerHasGauss is whether SamplerGauss is live.
+	SamplerHasGauss bool
+	// Recent is the outcome ring behind the windowed accuracy estimate
+	// (RecentWindow slots); RecentLabel mirrors it with the true labels.
+	Recent []bool
+	// RecentLabel holds each recent observation's true label.
+	RecentLabel []int
+	// RecentLen, RecentPos, and RecentOK are the ring's fill, cursor, and
+	// correct-prediction count.
+	RecentLen int
+	// RecentPos is the ring's overwrite cursor.
+	RecentPos int
+	// RecentOK counts correct predictions in the ring.
+	RecentOK int
+	// ClsRecentN and ClsRecentOK are the per-class tallies over the
+	// recent ring (drift attribution), indexed by class.
+	ClsRecentN []int
+	// ClsRecentOK counts correct predictions per class in the ring.
+	ClsRecentOK []int
+	// ObsSinceBind counts observations since the model was (re)bound —
+	// the drift detector's maturity clock.
+	ObsSinceBind uint64
+	// BaseOK and BaseN are the frozen post-bind baseline tallies.
+	BaseOK int
+	// BaseN counts baseline observations (frozen at RecentWindow).
+	BaseN int
+	// ClsBaseN and ClsBaseOK are the baseline's per-class tallies.
+	ClsBaseN []int
+	// ClsBaseOK counts correct baseline predictions per class.
+	ClsBaseOK []int
+	// Observations, Attempts, Retrains, and Rejections are the lifetime
+	// counters (Observations, Retrains, Rejections accessors).
+	Observations uint64
+	// Attempts counts retrain attempts (per-attempt seed derivation).
+	Attempts uint64
+	// Retrains counts completed retrains.
+	Retrains uint64
+	// Rejections counts gate-rejected retrains.
+	Rejections uint64
+}
+
+// Export returns a deep snapshot of the learner's mutable state. The
+// copy is taken eagerly — the whole window is duplicated — so callers
+// must keep it off latency-critical paths (serve/registry captures it
+// only when parking a tenant, never per request). Pair it with
+// NewOnlineLearnerFromState to rebuild an identical learner later.
+func (l *OnlineLearner) Export() *LearnerState {
+	st := &LearnerState{
+		WinX:         append([]float64(nil), l.winX...),
+		WinY:         append([]int(nil), l.winY...),
+		WinLen:       l.winLen,
+		WinPos:       l.winPos,
+		Seen:         l.seen,
+		Recent:       append([]bool(nil), l.recent...),
+		RecentLabel:  append([]int(nil), l.recentLabel...),
+		RecentLen:    l.recentLen,
+		RecentPos:    l.recentPos,
+		RecentOK:     l.recentOK,
+		ClsRecentN:   append([]int(nil), l.clsRecentN...),
+		ClsRecentOK:  append([]int(nil), l.clsRecentOK...),
+		ObsSinceBind: l.obsSinceBind,
+		BaseOK:       l.baseOK,
+		BaseN:        l.baseN,
+		ClsBaseN:     append([]int(nil), l.clsBaseN...),
+		ClsBaseOK:    append([]int(nil), l.clsBaseOK...),
+		Observations: l.observations,
+		Attempts:     l.attempts,
+		Retrains:     l.retrains,
+		Rejections:   l.rejections,
+	}
+	st.Sampler, st.SamplerGauss, st.SamplerHasGauss = l.sampler.State()
+	return st
+}
+
+// NewOnlineLearnerFromState rebuilds a learner bound to m from a
+// snapshot taken by Export, continuing exactly where the exporting
+// learner stopped: window contents, drift baseline, accuracy rings,
+// counters, and the reservoir sampler's stream position are all
+// restored bit-for-bit. cfg must describe the same geometry the
+// snapshot was taken under (same Window, RecentWindow, and a model of
+// the same shape) — a mismatched snapshot is rejected rather than
+// silently truncated. m should be the model the exporting learner was
+// bound to (or a successor already published to its serving surface):
+// the restored baseline and drift state describe THAT model's behavior.
+func NewOnlineLearnerFromState(m *Model, cfg OnlineConfig, st *LearnerState) (*OnlineLearner, error) {
+	if st == nil {
+		return nil, fmt.Errorf("disthd: NewOnlineLearnerFromState needs a state")
+	}
+	l, err := NewOnlineLearner(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := l.cfg
+	if len(st.WinX) != c.Window*m.Features() || len(st.WinY) != c.Window {
+		return nil, fmt.Errorf("disthd: learner state window holds %d values / %d labels, config wants %d / %d",
+			len(st.WinX), len(st.WinY), c.Window*m.Features(), c.Window)
+	}
+	if len(st.Recent) != c.RecentWindow || len(st.RecentLabel) != c.RecentWindow {
+		return nil, fmt.Errorf("disthd: learner state recent ring %d slots, config wants %d",
+			len(st.Recent), c.RecentWindow)
+	}
+	k := m.Classes()
+	if len(st.ClsRecentN) != k || len(st.ClsRecentOK) != k || len(st.ClsBaseN) != k || len(st.ClsBaseOK) != k {
+		return nil, fmt.Errorf("disthd: learner state tallies cover %d classes, model has %d",
+			len(st.ClsRecentN), k)
+	}
+	if st.WinLen < 0 || st.WinLen > c.Window || st.WinPos < 0 || st.WinPos >= c.Window ||
+		st.RecentLen < 0 || st.RecentLen > c.RecentWindow || st.RecentPos < 0 || st.RecentPos >= c.RecentWindow {
+		return nil, fmt.Errorf("disthd: learner state cursors out of range (winLen=%d winPos=%d recentLen=%d recentPos=%d)",
+			st.WinLen, st.WinPos, st.RecentLen, st.RecentPos)
+	}
+	copy(l.winX, st.WinX)
+	copy(l.winY, st.WinY)
+	l.winLen, l.winPos, l.seen = st.WinLen, st.WinPos, st.Seen
+	l.sampler.SetState(st.Sampler, st.SamplerGauss, st.SamplerHasGauss)
+	copy(l.recent, st.Recent)
+	copy(l.recentLabel, st.RecentLabel)
+	l.recentLen, l.recentPos, l.recentOK = st.RecentLen, st.RecentPos, st.RecentOK
+	copy(l.clsRecentN, st.ClsRecentN)
+	copy(l.clsRecentOK, st.ClsRecentOK)
+	l.obsSinceBind, l.baseOK, l.baseN = st.ObsSinceBind, st.BaseOK, st.BaseN
+	copy(l.clsBaseN, st.ClsBaseN)
+	copy(l.clsBaseOK, st.ClsBaseOK)
+	l.observations, l.attempts, l.retrains, l.rejections =
+		st.Observations, st.Attempts, st.Retrains, st.Rejections
+	return l, nil
+}
+
 // bindable validates that m can replace the currently bound model.
 func (l *OnlineLearner) bindable(m *Model) error {
 	if m == nil {

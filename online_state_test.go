@@ -1,0 +1,132 @@
+package disthd
+
+import (
+	"reflect"
+	"testing"
+)
+
+// feedStream observes rows[i] with labels[i] into l, failing the test on
+// any error.
+func feedStream(t *testing.T, l *OnlineLearner, rows [][]float64, labels []int) {
+	t.Helper()
+	for i, x := range rows {
+		if _, err := l.Observe(x, labels[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestOnlineLearnerExportRestoreBitwise pins the park/wake contract at its
+// root: an Export restored through NewOnlineLearnerFromState is
+// bit-identical — window contents, rings, baseline, cursors, counters —
+// and the two learners stay in lockstep on any further shared stream.
+func TestOnlineLearnerExportRestoreBitwise(t *testing.T) {
+	m, _, test := onlineFixture(t, 31)
+	cfg := OnlineConfig{Window: 48, RecentWindow: 16, Seed: 9}
+	l, err := NewOnlineLearner(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed past the window capacity so the ring has wrapped, with a drifted
+	// tail so the rings hold a mix of outcomes.
+	n := 64
+	for i := 0; i < n; i++ {
+		x := test.X[i%len(test.X)]
+		if i >= n/2 {
+			x = shiftRow(x, 3)
+		}
+		if _, err := l.Observe(x, test.Y[i%len(test.Y)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Export()
+	pristine := l.Export() // independent copy, for the no-write-through check
+	restored, err := NewOnlineLearnerFromState(m, cfg, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(restored.Export(), st) {
+		t.Fatal("restored learner's Export differs from the snapshot it was built from")
+	}
+	if got, want := restored.Observations(), l.Observations(); got != want {
+		t.Fatalf("restored observations %d, want %d", got, want)
+	}
+	if got, want := restored.WindowAccuracy(), l.WindowAccuracy(); got != want {
+		t.Fatalf("restored window accuracy %v, want %v", got, want)
+	}
+	if got, want := restored.BaselineAccuracy(), l.BaselineAccuracy(); got != want {
+		t.Fatalf("restored baseline accuracy %v, want %v", got, want)
+	}
+	// A snapshot is a fork: both learners must evolve identically from here.
+	feedStream(t, l, test.X[:32], test.Y[:32])
+	feedStream(t, restored, test.X[:32], test.Y[:32])
+	if !reflect.DeepEqual(restored.Export(), l.Export()) {
+		t.Fatal("original and restored learners diverged on an identical continuation stream")
+	}
+	// Feeding the learners must not have written through into the
+	// snapshot: st still matches the independent copy from the fork point.
+	if !reflect.DeepEqual(st, pristine) {
+		t.Fatal("snapshot mutated by a learner restored from it; restore did not deep-copy")
+	}
+}
+
+// TestOnlineLearnerExportRestoreReservoir pins the sampler continuity:
+// in reservoir mode, admission after a restore must draw exactly the
+// random stream the original learner would have — otherwise the two
+// windows diverge even on identical input.
+func TestOnlineLearnerExportRestoreReservoir(t *testing.T) {
+	m, _, test := onlineFixture(t, 33)
+	cfg := OnlineConfig{Window: 24, RecentWindow: 8, Reservoir: true, Seed: 5}
+	l, err := NewOnlineLearner(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overfill so reservoir replacement (the sampler-driven path) is active.
+	for i := 0; i < 3*24; i++ {
+		if _, err := l.Observe(test.X[i%len(test.X)], test.Y[i%len(test.Y)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	restored, err := NewOnlineLearnerFromState(m, cfg, l.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedStream(t, l, test.X[:40], test.Y[:40])
+	feedStream(t, restored, test.X[:40], test.Y[:40])
+	if !reflect.DeepEqual(restored.Export(), l.Export()) {
+		t.Fatal("reservoir learners diverged after restore; sampler state did not carry over")
+	}
+}
+
+// TestOnlineLearnerRestoreRejectsMismatch proves a snapshot that does not
+// match the restore-time geometry is rejected instead of silently
+// truncated.
+func TestOnlineLearnerRestoreRejectsMismatch(t *testing.T) {
+	m, _, test := onlineFixture(t, 35)
+	cfg := OnlineConfig{Window: 32, RecentWindow: 8}
+	l, err := NewOnlineLearner(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedStream(t, l, test.X[:16], test.Y[:16])
+	st := l.Export()
+	if _, err := NewOnlineLearnerFromState(m, cfg, nil); err == nil {
+		t.Fatal("nil state accepted")
+	}
+	if _, err := NewOnlineLearnerFromState(m, OnlineConfig{Window: 64, RecentWindow: 8}, st); err == nil {
+		t.Fatal("snapshot restored under a different Window")
+	}
+	if _, err := NewOnlineLearnerFromState(m, OnlineConfig{Window: 32, RecentWindow: 16}, st); err == nil {
+		t.Fatal("snapshot restored under a different RecentWindow")
+	}
+	bad := *st
+	bad.WinPos = cfg.Window
+	if _, err := NewOnlineLearnerFromState(m, cfg, &bad); err == nil {
+		t.Fatal("out-of-range window cursor accepted")
+	}
+	bad = *st
+	bad.ClsRecentN = bad.ClsRecentN[:1]
+	if _, err := NewOnlineLearnerFromState(m, cfg, &bad); err == nil {
+		t.Fatal("truncated class tallies accepted")
+	}
+}

@@ -7,8 +7,9 @@
 # binary frame protocol (hdbench installs three more tenants over
 # PUT /t/{id} and exits nonzero if any request ultimately fails — 429s
 # are retried, never dropped). Afterwards the script asserts the
-# registry actually churned (evictions > 0 in /stats), scrapes a
-# per-tenant /t/{model}/stats, removes a tenant over DELETE, and
+# registry actually churned (evictions > 0 in /stats), proves a
+# learning tenant's feedback counter survives a park/wake cycle, scrapes
+# a per-tenant /t/{model}/stats, removes a tenant over DELETE, and
 # SIGTERMs the server expecting a clean drain (the "bye:" line only
 # prints after every tenant drained).
 set -eu
@@ -28,6 +29,22 @@ trap cleanup EXIT INT TERM
 
 fetch() {
     curl -fsS "$1" 2>/dev/null || wget -qO- "$1"
+}
+
+put_json() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS -X PUT -H 'Content-Type: application/json' -d "$2" "$1"
+    else
+        wget -qO- --method=PUT --header='Content-Type: application/json' --body-data="$2" "$1"
+    fi
+}
+
+post_json() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS -X POST -H 'Content-Type: application/json' -d "$2" "$1"
+    else
+        wget -qO- --header='Content-Type: application/json' --post-data="$2" "$1"
+    fi
 }
 
 echo "registry-smoke: building binaries..."
@@ -100,6 +117,52 @@ case "$TSTATS" in
     exit 1 ;;
 esac
 
+# Learner state survives eviction: install a learning tenant, feed it
+# labeled samples, park it by waking other tenants through the 2-slot
+# pool, and the per-tenant /stats feedback counter must (a) stay visible
+# while parked and (b) continue — never reset to zero — after the wake.
+echo "registry-smoke: learner park/wake continuity..."
+put_json "http://$ADDR/t/lrn" \
+    '{"demo":"DIABETES","dim":48,"scale":0.05,"iterations":2,"learn":true,"seed":7}' >/dev/null
+TSTATS=$(fetch "http://$ADDR/t/lrn/stats")
+FEATS=$(printf '%s' "$TSTATS" | sed -n 's/.*"features":\([0-9]*\).*/\1/p')
+ROW=$(awk -v n="$FEATS" 'BEGIN{s="0";for(i=1;i<n;i++)s=s",0";print s}')
+i=0
+while [ "$i" -lt 5 ]; do
+    post_json "http://$ADDR/t/lrn/learn" "{\"x\":[$ROW],\"label\":0}" >/dev/null
+    i=$((i + 1))
+done
+# Two wakes of other learning tenants cycle the 2-slot pool, parking lrn
+# (a zero row with label 0 is valid feedback for any tenant shape).
+for id in t0 t1; do
+    TS=$(fetch "http://$ADDR/t/$id/stats")
+    F=$(printf '%s' "$TS" | sed -n 's/.*"features":\([0-9]*\).*/\1/p')
+    R=$(awk -v n="$F" 'BEGIN{s="0";for(i=1;i<n;i++)s=s",0";print s}')
+    post_json "http://$ADDR/t/$id/learn" "{\"x\":[$R],\"label\":0}" >/dev/null
+done
+TSTATS=$(fetch "http://$ADDR/t/lrn/stats")
+case "$TSTATS" in
+*'"resident":false'*) ;;
+*)
+    echo "registry-smoke: lrn still resident after two wakes through pool 2: $TSTATS" >&2
+    exit 1 ;;
+esac
+case "$TSTATS" in
+*'"feedback":5'*) ;;
+*)
+    echo "registry-smoke: parked /t/lrn/stats lost the learner gauges: $TSTATS" >&2
+    exit 1 ;;
+esac
+# One more feedback sample wakes lrn; the counter continues at 6.
+post_json "http://$ADDR/t/lrn/learn" "{\"x\":[$ROW],\"label\":0}" >/dev/null
+TSTATS=$(fetch "http://$ADDR/t/lrn/stats")
+case "$TSTATS" in
+*'"feedback":6'*) ;;
+*)
+    echo "registry-smoke: learner feedback counter reset across park/wake: $TSTATS" >&2
+    exit 1 ;;
+esac
+
 # DELETE drains and removes: gamma must disappear from /models.
 echo "registry-smoke: DELETE /t/gamma..."
 if command -v curl >/dev/null 2>&1; then
@@ -129,4 +192,4 @@ if ! grep -q "bye:" "$TMP/serve.log"; then
     cat "$TMP/serve.log"
     exit 1
 fi
-echo "registry-smoke: OK (3 boot + 3 PUT tenants, JSON+binary traffic, evictions observed, per-tenant stats, DELETE drain, clean SIGTERM)"
+echo "registry-smoke: OK (3 boot + 4 PUT tenants, JSON+binary learn+predict traffic, evictions observed, learner survives park/wake, per-tenant stats, DELETE drain, clean SIGTERM)"

@@ -142,19 +142,17 @@ type Learner struct {
 	wg           sync.WaitGroup
 }
 
-// NewLearner builds a Learner feeding successors into sw, starting from the
-// model sw currently serves.
-func NewLearner(sw *Swapper, opts LearnerOptions) (*Learner, error) {
-	if sw == nil {
-		return nil, fmt.Errorf("serve: NewLearner needs a swapper")
-	}
-	o := opts.withDefaults()
+// onlineConfig maps resolved options onto the disthd.OnlineConfig the
+// wrapped OnlineLearner runs under — the single definition NewLearner
+// and RestoreLearner share, so a restored learner always rebuilds under
+// exactly the configuration its snapshot was taken under.
+func (o LearnerOptions) onlineConfig() disthd.OnlineConfig {
 	holdout := o.HoldoutFraction
 	if o.GateDisabled {
 		// No gate, no reason to starve the retrain of holdout samples.
 		holdout = -1
 	}
-	ol, err := disthd.NewOnlineLearner(sw.Current(), disthd.OnlineConfig{
+	return disthd.OnlineConfig{
 		Window:          o.Window,
 		Reservoir:       o.Reservoir,
 		RecentWindow:    o.RecentWindow,
@@ -166,7 +164,17 @@ func NewLearner(sw *Swapper, opts LearnerOptions) (*Learner, error) {
 			Seed:         o.Seed,
 		},
 		Seed: o.Seed,
-	})
+	}
+}
+
+// NewLearner builds a Learner feeding successors into sw, starting from the
+// model sw currently serves.
+func NewLearner(sw *Swapper, opts LearnerOptions) (*Learner, error) {
+	if sw == nil {
+		return nil, fmt.Errorf("serve: NewLearner needs a swapper")
+	}
+	o := opts.withDefaults()
+	ol, err := disthd.NewOnlineLearner(sw.Current(), o.onlineConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -174,6 +182,123 @@ func NewLearner(sw *Swapper, opts LearnerOptions) (*Learner, error) {
 	if !o.GateDisabled {
 		l.gate = disthd.NewGate(disthd.GateConfig{MinMargin: o.GateMargin})
 	}
+	return l, nil
+}
+
+// LearnerState is a portable snapshot of a Learner: the wrapped
+// OnlineLearner's deep state (feedback window, drift baseline, accuracy
+// rings, counters) plus the serving-side gauges — retrain/gate
+// counters, backoff position, and the last gate verdicts. Export takes
+// one and RestoreLearner rebuilds a Learner from it over a fresh
+// Swapper, which is how serve/registry makes tenant eviction lossless
+// for learning tenants. Gauges is the frozen /stats view at export
+// time, so a parked tenant's stats endpoint can keep reporting the
+// learner without holding a live serving unit.
+type LearnerState struct {
+	// Online is the wrapped OnlineLearner's deep snapshot.
+	Online *disthd.LearnerState
+	// Gauges is the LearnerSnapshot frozen at export time — what /stats
+	// reported the instant the learner was parked.
+	Gauges LearnerSnapshot
+	// Feedback through GateRejects restore the serving-side counters.
+	Feedback uint64
+	// Drifts counts drift-flagged ingestions.
+	Drifts uint64
+	// Attempts counts retrain attempts (seed derivation).
+	Attempts uint64
+	// Retrains counts published retrains.
+	Retrains uint64
+	// RetrainErrors counts failed retrains.
+	RetrainErrors uint64
+	// GateAccepts counts published challengers.
+	GateAccepts uint64
+	// GateRejects counts dropped challengers.
+	GateRejects uint64
+	// RejectAt is 1 + the feedback count at the last rejection (the
+	// rejection-backoff anchor; 0 when no challenger was ever rejected).
+	RejectAt uint64
+	// LastGate and LastRejection are the most recent gate verdicts.
+	LastGate *GateResult
+	// LastRejection is the most recent rejected challenger's verdict.
+	LastRejection *GateResult
+	// LastRetrainNS, LastDurationNS, and LastAutoNS restore the retrain
+	// wall-clock gauges (UnixNano / duration ns).
+	LastRetrainNS int64
+	// LastDurationNS is the last completed retrain's duration in ns.
+	LastDurationNS int64
+	// LastAutoNS is the wall-clock ns of the last auto retrain trigger.
+	LastAutoNS int64
+}
+
+// Export settles the learner and snapshots it: any in-flight background
+// retrain is waited out first — its gated successor publishes through
+// the (still live) Swapper or is rejected and counted, so a snapshot
+// never races a publish — then the full state is deep-copied. The
+// caller must guarantee no concurrent Feed/Retrain calls (serve/registry
+// parks only idle tenants, which guarantees exactly that); Export is a
+// park-time operation, never a request-path one — it copies the whole
+// feedback window.
+func (l *Learner) Export() *LearnerState {
+	l.Wait()
+	l.mu.Lock()
+	online := l.ol.Export()
+	l.mu.Unlock()
+	st := &LearnerState{
+		Online:         online,
+		Feedback:       l.feedback.Load(),
+		Drifts:         l.drifts.Load(),
+		Attempts:       l.attempts.Load(),
+		Retrains:       l.retrains.Load(),
+		RetrainErrors:  l.retrainErrs.Load(),
+		GateAccepts:    l.gateAccepts.Load(),
+		GateRejects:    l.gateRejects.Load(),
+		RejectAt:       l.rejectAt.Load(),
+		LastGate:       l.lastGate.Load(),
+		LastRejection:  l.lastReject.Load(),
+		LastRetrainNS:  l.lastRetrain.Load(),
+		LastDurationNS: l.lastDuration.Load(),
+		LastAutoNS:     l.lastAuto.Load(),
+	}
+	st.Gauges = l.Snapshot()
+	return st
+}
+
+// RestoreLearner rebuilds a Learner from an Export snapshot over sw,
+// continuing exactly where the exported learner stopped: feedback
+// window, drift baseline, accuracy rings, retrain/gate counters, and
+// backoff position all carry over. opts must match the options the
+// snapshot was taken under (the registry reuses the tenant's Spec, which
+// guarantees it); sw should currently serve the model the exported
+// learner was bound to — the restored baseline describes that model.
+func RestoreLearner(sw *Swapper, opts LearnerOptions, st *LearnerState) (*Learner, error) {
+	if sw == nil {
+		return nil, fmt.Errorf("serve: RestoreLearner needs a swapper")
+	}
+	if st == nil || st.Online == nil {
+		return nil, fmt.Errorf("serve: RestoreLearner needs an Export snapshot")
+	}
+	o := opts.withDefaults()
+	ol, err := disthd.NewOnlineLearnerFromState(sw.Current(), o.onlineConfig(), st.Online)
+	if err != nil {
+		return nil, err
+	}
+	l := &Learner{sw: sw, opts: o, ol: ol}
+	if !o.GateDisabled {
+		l.gate = disthd.NewGate(disthd.GateConfig{MinMargin: o.GateMargin})
+	}
+	l.feedback.Store(st.Feedback)
+	l.drifts.Store(st.Drifts)
+	l.attempts.Store(st.Attempts)
+	l.retrains.Store(st.Retrains)
+	l.retrainErrs.Store(st.RetrainErrors)
+	l.gateAccepts.Store(st.GateAccepts)
+	l.gateRejects.Store(st.GateRejects)
+	l.rejectAt.Store(st.RejectAt)
+	l.lastGate.Store(st.LastGate)
+	l.lastReject.Store(st.LastRejection)
+	l.lastRetrain.Store(st.LastRetrainNS)
+	l.lastDuration.Store(st.LastDurationNS)
+	l.lastAuto.Store(st.LastAutoNS)
 	return l, nil
 }
 

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestLearnerExportRestoreContinuity pins the serve-level half of the
+// park/wake contract: Export settles the learner and captures everything,
+// RestoreLearner rebuilds an identical one — online state bitwise, gate
+// and retrain gauges included.
+func TestLearnerExportRestoreContinuity(t *testing.T) {
+	b, l, st := learnerFixture(t, LearnerOptions{Window: 64, RecentWindow: 8, Seed: 3})
+	for i, x := range st.test.X[:32] {
+		if _, err := l.Feed(x, st.test.Y[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A forced retrain publishes a successor and populates the gate gauges;
+	// Export must wait it out, so no explicit Wait here.
+	if started, err := l.Retrain(true); err != nil || !started {
+		t.Fatalf("forced retrain: started=%v err=%v", started, err)
+	}
+	snap := l.Export()
+	if snap.Gauges.Retraining {
+		t.Fatal("Export returned with a retrain still in flight")
+	}
+	if snap.Retrains != 1 || snap.GateAccepts != 1 {
+		t.Fatalf("exported gauges retrains=%d gateAccepts=%d, want 1/1 after a forced retrain",
+			snap.Retrains, snap.GateAccepts)
+	}
+	if b.Model() == st.a {
+		t.Fatal("forced retrain never published; the export has nothing to preserve")
+	}
+
+	restored, err := RestoreLearner(b.Swapper(), LearnerOptions{Window: 64, RecentWindow: 8, Seed: 3}, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(restored.Snapshot(), l.Snapshot()) {
+		t.Fatalf("restored snapshot diverges:\n got %+v\nwant %+v", restored.Snapshot(), l.Snapshot())
+	}
+	if !reflect.DeepEqual(restored.Export(), snap) {
+		t.Fatal("restored learner's Export differs from the snapshot it was built from")
+	}
+	// The restored learner keeps working: more feedback continues the
+	// counters instead of restarting them.
+	for i, x := range st.test.X[:8] {
+		if _, err := restored.Feed(x, st.test.Y[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := restored.Snapshot().Feedback; got != snap.Feedback+8 {
+		t.Fatalf("feedback after restore+8 = %d, want %d", got, snap.Feedback+8)
+	}
+}
+
+// TestRestoreLearnerValidates proves the restore rejects nil inputs and a
+// snapshot whose geometry does not match the options.
+func TestRestoreLearnerValidates(t *testing.T) {
+	b, l, st := learnerFixture(t, LearnerOptions{Window: 32, RecentWindow: 8})
+	if _, err := l.Feed(st.test.X[0], st.test.Y[0]); err != nil {
+		t.Fatal(err)
+	}
+	snap := l.Export()
+	if _, err := RestoreLearner(nil, LearnerOptions{}, snap); err == nil {
+		t.Fatal("nil swapper accepted")
+	}
+	if _, err := RestoreLearner(b.Swapper(), LearnerOptions{}, nil); err == nil {
+		t.Fatal("nil snapshot accepted")
+	}
+	if _, err := RestoreLearner(b.Swapper(), LearnerOptions{Window: 16, RecentWindow: 8}, snap); err == nil {
+		t.Fatal("snapshot restored under mismatched options")
+	}
+}

@@ -373,8 +373,21 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// retryAfterSeconds is the Retry-After value on 429 responses. Admission
+// rejections clear when an in-flight request drains or an idle tenant
+// frees pool capacity; the wake itself is sub-millisecond, so the header
+// is dominated by the 1-second floor — HTTP Retry-After has whole-second
+// granularity, and anything under a second would invite the hammering the
+// header exists to prevent.
+const retryAfterSeconds = 1
+
 // writeError emits a {"error": ...} body, the same shape as the
-// single-model server's errors.
+// single-model server's errors. Admission rejections (429) additionally
+// carry a Retry-After header so well-behaved clients back off instead of
+// retrying immediately against a pool that is still saturated.
 func writeError(w http.ResponseWriter, status int, err error) {
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

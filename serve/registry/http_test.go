@@ -255,6 +255,10 @@ func TestRegistryHTTPAdmission429(t *testing.T) {
 	if rec.Code != http.StatusTooManyRequests {
 		t.Fatalf("wake under a pinned pool: %d, want 429 (%s)", rec.Code, rec.Body)
 	}
+	// Admission rejections tell well-behaved clients when to come back.
+	if got := rec.Header().Get("Retry-After"); got != "1" {
+		t.Fatalf("429 Retry-After = %q, want %q", got, "1")
+	}
 	reg.Release(h)
 	rec = httptest.NewRecorder()
 	req = httptest.NewRequest("POST", fmt.Sprintf("/t/%s/predict", fx[1].name), bytes.NewReader(row))

@@ -13,6 +13,10 @@
 // A request for a parked tenant wakes it, parking the least-recently-used
 // idle tenants to make room (their scratch is released; the model itself
 // stays registered and is rebuilt into a fresh Batcher on the next hit).
+// Parking is lossless: a learning tenant's full learner state — feedback
+// window, drift baseline, accuracy rings, retrain/gate gauges — is
+// snapshotted next to the authoritative model and restored on the next
+// wake, so eviction churn never resets a tenant to a cold learner.
 // When no idle tenant can be parked — every resident replica is actively
 // serving — admission fails with ErrPoolExhausted and the HTTP layer
 // answers 429, so a process serving N tenants can never allocate
@@ -60,11 +64,13 @@ type Spec struct {
 	Options serve.Options
 	// Learner, when non-nil, attaches online learning (/learn, /retrain,
 	// gated background retraining) to the tenant while it is resident.
-	// Learner state — the feedback window, drift baseline, gate gauges —
-	// lives with the serving unit: parking a tenant releases it along with
-	// the scratch, and the next wake starts a fresh learner over the
-	// latest published model. Hot tenants are never parked, so in practice
-	// only cold tenants forget their window.
+	// Learner state — the feedback window, drift baseline, accuracy rings,
+	// retrain/gate gauges — survives parking: eviction snapshots it
+	// (serve.Learner.Export) next to the authoritative model, and the next
+	// wake rebuilds the learner from the snapshot (serve.RestoreLearner),
+	// continuing exactly where it stopped. An in-flight background retrain
+	// is settled before the snapshot, so its gated successor is published
+	// into the captured model or rejected and counted — never lost.
 	Learner *serve.LearnerOptions
 }
 
@@ -88,6 +94,12 @@ type Tenant struct {
 	// Swapper is (park copies the pointer back, so swaps, retrains, and
 	// quantizations published while resident survive eviction).
 	model *disthd.Model
+
+	// learner is the parked learner snapshot, authoritative while parked
+	// for tenants whose spec attaches a learner; while resident the live
+	// serve.Learner is, and this is nil. Park captures it (settling any
+	// in-flight retrain first) and wake consumes it.
+	learner *serve.LearnerState
 
 	resident  bool
 	removing  bool
@@ -322,11 +334,22 @@ func (r *Registry) wakeLocked(t *Tenant) error {
 		return fmt.Errorf("registry: wake tenant %q: %w", t.id, err)
 	}
 	if t.spec.Learner != nil {
-		l, err := serve.NewLearner(srv.Batcher().Swapper(), *t.spec.Learner)
+		var l *serve.Learner
+		if t.learner != nil {
+			// A previous park snapshotted the learner; continue it instead
+			// of starting cold. The spec (and so the learner config) is
+			// immutable for a registered tenant, and the tenant's
+			// authoritative model is exactly the one the snapshot's baseline
+			// describes, so the restore cannot misfit.
+			l, err = serve.RestoreLearner(srv.Batcher().Swapper(), *t.spec.Learner, t.learner)
+		} else {
+			l, err = serve.NewLearner(srv.Batcher().Swapper(), *t.spec.Learner)
+		}
 		if err != nil {
 			srv.Batcher().Close()
 			return fmt.Errorf("registry: wake tenant %q: %w", t.id, err)
 		}
+		t.learner = nil
 		srv.AttachLearner(l)
 	}
 	t.srv = srv
@@ -357,16 +380,29 @@ func (r *Registry) victimLocked(exempt *Tenant) *Tenant {
 
 // parkLocked releases an idle resident tenant's serving unit: the Batcher
 // drains (its queue is empty — the tenant has no in-flight request — so
-// the close is prompt) and the latest published model is copied back as
-// the tenant's authoritative snapshot, so a swap, gated retrain, or
-// quantization that landed while resident survives the eviction. A
-// learner's in-flight background retrain, if any, finishes against the
-// discarded Swapper and is dropped with it.
+// the close is prompt), the learner (if any) is settled and snapshotted,
+// and the latest published model is copied back as the tenant's
+// authoritative snapshot, so a swap, gated retrain, or quantization that
+// landed while resident survives the eviction.
+//
+// Blocking on the learner under the registry lock is deadlock-free: the
+// retrain goroutine touches only the learner mutex and the Swapper, never
+// the registry, and with the tenant idle (inflight == 0, guaranteed by
+// every caller) no Feed can start a new retrain under us.
 func (r *Registry) parkLocked(t *Tenant, evicted bool) {
 	bat := t.srv.Batcher()
 	bat.Close()
-	// Read the published model only after the batcher has quiesced, so a
-	// swap landing mid-drain is not lost. The Swapper outlives the batcher;
+	if l := t.srv.Learner(); l != nil {
+		// Export waits out any in-flight background retrain first: its
+		// gated successor publishes through the Swapper (which outlives the
+		// batcher) or is rejected and counted — either way the verdict is in
+		// the snapshot and the model read below sees the publish. This is
+		// also what lets Close guarantee no retrain goroutine outlives it.
+		t.learner = l.Export()
+	}
+	// Read the published model only after the batcher has quiesced and the
+	// learner has settled, so neither a swap landing mid-drain nor a
+	// retrain's successor is lost. The Swapper outlives the batcher;
 	// Model() after Close is just an atomic load.
 	t.model = bat.Model()
 	t.srv = nil
@@ -379,8 +415,10 @@ func (r *Registry) parkLocked(t *Tenant, evicted bool) {
 }
 
 // Close drains every tenant and shuts the registry down: in-flight
-// requests complete, parked state is kept only in memory, and every later
-// operation returns ErrClosed.
+// requests complete, learners settle (parkLocked waits out each tenant's
+// background retrain, so no retrain goroutine outlives Close), parked
+// state is kept only in memory, and every later operation returns
+// ErrClosed.
 func (r *Registry) Close() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -433,6 +471,12 @@ type TenantStats struct {
 	// Serve is the tenant's serving snapshot while resident (batcher
 	// counters, learner and quantization gauges), nil while parked.
 	Serve *serve.Snapshot `json:"serve,omitempty"`
+	// Learner is the learner gauge snapshot frozen at the last park, for
+	// learning tenants while parked — the feedback window length, drift
+	// state, and retrain/gate counters survive eviction, and this reports
+	// them without waking the tenant. Nil while resident (the live gauges
+	// are in Serve.Learner) and for tenants without a learner.
+	Learner *serve.LearnerSnapshot `json:"learner,omitempty"`
 }
 
 // Stats is the aggregate registry snapshot (`GET /stats` in registry mode
@@ -506,6 +550,9 @@ func (r *Registry) tenantStatsLocked(t *Tenant) TenantStats {
 	if t.resident {
 		snap := t.srv.Stats()
 		ts.Serve = &snap
+	} else if t.learner != nil {
+		gauges := t.learner.Gauges
+		ts.Learner = &gauges
 	}
 	return ts
 }
